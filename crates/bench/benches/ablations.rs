@@ -1,0 +1,237 @@
+//! Ablation and robustness studies for the design decisions the paper
+//! calls out:
+//!
+//! 1. **Adaptivity ladder** — PS → PS-OO → PS-OA → PS-AA is exactly
+//!    "+object locks", "+adaptive callbacks", "+adaptive locks"; running
+//!    all four on one workload isolates each mechanism's contribution.
+//! 2. **Merge cost sensitivity** (§6.1) — how expensive per-object copy
+//!    merging must become before merging stops paying off.
+//! 3. **Redo-at-server** (§6.1) — replaying updates at the server instead
+//!    of merging shipped copies (SHORE's first implementation): quantifies
+//!    the lost data-shipping offload.
+//! 4. **Parameter-space robustness** (§5.6.2) — client population sweep,
+//!    clustered access pattern, and 10× slower network, checking the
+//!    PS-AA-wins story is not an artifact of one operating point.
+//!
+//! Control with env: FGS_QUALITY=quick|full, FGS_ABLATIONS=ladder,merge,…
+
+use fgs_core::Protocol;
+use fgs_sim::{run_point, RunConfig, SystemConfig};
+use fgs_workload::{AccessPattern, Locality, WorkloadSpec};
+
+fn run_cfg() -> RunConfig {
+    match std::env::var("FGS_QUALITY").as_deref() {
+        Ok("quick") => RunConfig {
+            duration: 70.0,
+            warmup: 10.0,
+            batches: 5,
+            ..RunConfig::default()
+        },
+        _ => RunConfig::default(),
+    }
+}
+
+fn selected(name: &str) -> bool {
+    match std::env::var("FGS_ABLATIONS") {
+        Ok(list) => list.split(',').any(|x| x.trim() == name),
+        Err(_) => true,
+    }
+}
+
+fn ladder() {
+    println!("# Ablation: adaptivity ladder (HOTCOLD, low locality, w=0.15)");
+    println!("# each row adds one mechanism of the paper's design");
+    let run = run_cfg();
+    let sys = SystemConfig::default();
+    let spec = || WorkloadSpec::hotcold(Locality::Low, 0.15);
+    let rows = [
+        (Protocol::Ps, "page locks + page callbacks (baseline PS)"),
+        (Protocol::PsOo, "+ object locks, object callbacks"),
+        (Protocol::PsOa, "+ adaptive (de-escalating) callbacks"),
+        (Protocol::PsAa, "+ adaptive locks (de-escalation)"),
+    ];
+    println!(
+        "{:<8}{:>10}{:>13}{:>11}  mechanism",
+        "proto", "tps", "msgs/commit", "deadlocks"
+    );
+    for (p, desc) in rows {
+        let m = run_point(p, spec(), &sys, &run);
+        println!(
+            "{:<8}{:>10.2}{:>13.1}{:>11}  {desc}",
+            p.name(),
+            m.throughput,
+            m.msgs_per_commit,
+            m.aborts
+        );
+    }
+    println!();
+}
+
+fn merge_sensitivity() {
+    println!("# Ablation: per-object merge cost sensitivity (PS-AA vs PS, UNIFORM low, w=0.15)");
+    println!("# paper §6.1: merging is CPU work; when does it erase the fine-grained win?");
+    let run = run_cfg();
+    let spec = || WorkloadSpec::uniform(Locality::Low, 0.15);
+    println!("{:<22}{:>10}{:>10}", "CopyMergeInst", "PS-AA", "PS");
+    for factor in [1.0, 10.0, 100.0, 1000.0] {
+        let mut sys = SystemConfig::default();
+        sys.copy_merge_inst *= factor;
+        let aa = run_point(Protocol::PsAa, spec(), &sys, &run);
+        let ps = run_point(Protocol::Ps, spec(), &sys, &run);
+        println!(
+            "{:<22}{:>10.2}{:>10.2}",
+            format!("{}x (={})", factor, sys.copy_merge_inst),
+            aa.throughput,
+            ps.throughput
+        );
+    }
+    println!();
+}
+
+fn redo_at_server() {
+    println!("# Ablation: merge-at-server vs redo-at-server commits (§6.1, PS-AA)");
+    println!("# redo-at-server repeats all update work at the server CPU");
+    let run = run_cfg();
+    for (wl, spec) in [
+        ("HOTCOLD/low", WorkloadSpec::hotcold(Locality::Low, 0.15)),
+        ("HOTCOLD/high", WorkloadSpec::hotcold(Locality::High, 0.15)),
+    ] {
+        for redo in [false, true] {
+            let sys = SystemConfig {
+                redo_at_server: redo,
+                ..SystemConfig::default()
+            };
+            let m = run_point(Protocol::PsAa, spec.clone(), &sys, &run);
+            println!(
+                "{wl:<14} {:<16} tps={:>7.2}  server CPU={:>3.0}%",
+                if redo { "redo-at-server" } else { "merge" },
+                m.throughput,
+                m.server_cpu_util * 100.0
+            );
+        }
+    }
+    println!();
+}
+
+fn client_sweep() {
+    println!("# Robustness: client population sweep (HOTCOLD low, w=0.10)");
+    let run = run_cfg();
+    println!("{:<10}{:>10}{:>10}{:>10}", "clients", "PS", "OS", "PS-AA");
+    for n in [5u16, 10, 15, 20, 25] {
+        let sys = SystemConfig {
+            num_clients: n,
+            ..SystemConfig::default()
+        };
+        // Hot regions must fit: 25 clients × 50 pages = 1250 = the whole
+        // database at n=25 (no cold-only region remains, still valid).
+        let spec = || WorkloadSpec::hotcold(Locality::Low, 0.10);
+        let ps = run_point(Protocol::Ps, spec(), &sys, &run);
+        let os = run_point(Protocol::Os, spec(), &sys, &run);
+        let aa = run_point(Protocol::PsAa, spec(), &sys, &run);
+        println!(
+            "{n:<10}{:>10.2}{:>10.2}{:>10.2}",
+            ps.throughput, os.throughput, aa.throughput
+        );
+    }
+    println!();
+}
+
+fn clustered() {
+    println!("# Robustness: clustered vs unclustered object access (HOTCOLD low, w=0.15)");
+    let run = run_cfg();
+    let sys = SystemConfig::default();
+    println!(
+        "{:<14}{:>10}{:>10}{:>10}",
+        "pattern", "PS", "PS-OO", "PS-AA"
+    );
+    for pattern in [AccessPattern::Unclustered, AccessPattern::Clustered] {
+        let spec = |p| {
+            let mut s = WorkloadSpec::hotcold(Locality::Low, 0.15);
+            s.access_pattern = p;
+            s
+        };
+        let ps = run_point(Protocol::Ps, spec(pattern), &sys, &run);
+        let oo = run_point(Protocol::PsOo, spec(pattern), &sys, &run);
+        let aa = run_point(Protocol::PsAa, spec(pattern), &sys, &run);
+        println!(
+            "{:<14}{:>10.2}{:>10.2}{:>10.2}",
+            format!("{pattern:?}"),
+            ps.throughput,
+            oo.throughput,
+            aa.throughput
+        );
+    }
+    println!();
+}
+
+fn slow_network() {
+    println!("# Robustness: 10x slower network (8 Mbit/s, HOTCOLD low, w=0.15)");
+    let run = run_cfg();
+    println!("{:<10}{:>10}{:>12}", "proto", "tps", "net util %");
+    for p in Protocol::ALL {
+        let sys = SystemConfig {
+            network_bps: 8e6,
+            ..SystemConfig::default()
+        };
+        let m = run_point(p, WorkloadSpec::hotcold(Locality::Low, 0.15), &sys, &run);
+        println!(
+            "{:<10}{:>10.2}{:>12.1}",
+            p.name(),
+            m.throughput,
+            m.net_util * 100.0
+        );
+    }
+    println!();
+}
+
+fn token_vs_merge() {
+    println!("# Extension: write token (PS-WT) vs merging (PS-OO) — the paper's §6.1 tradeoff");
+    println!("# token avoids merge CPU but bounces pages between concurrent page updaters");
+    let run = run_cfg();
+    let sys = SystemConfig::default();
+    println!(
+        "{:<26}{:>10}{:>10}{:>10}",
+        "workload (w=0.15)", "PS-OO", "PS-WT", "PS-AA"
+    );
+    for (name, spec) in [
+        ("HOTCOLD/low", WorkloadSpec::hotcold(Locality::Low, 0.15)),
+        ("UNIFORM/low", WorkloadSpec::uniform(Locality::Low, 0.15)),
+        (
+            "INTERLEAVED-PRIVATE",
+            WorkloadSpec::interleaved_private(0.15),
+        ),
+    ] {
+        let oo = run_point(Protocol::PsOo, spec.clone(), &sys, &run);
+        let wt = run_point(Protocol::PsWt, spec.clone(), &sys, &run);
+        let aa = run_point(Protocol::PsAa, spec.clone(), &sys, &run);
+        println!(
+            "{name:<26}{:>10.2}{:>10.2}{:>10.2}",
+            oo.throughput, wt.throughput, aa.throughput
+        );
+    }
+    println!();
+}
+
+fn main() {
+    if selected("token") {
+        token_vs_merge();
+    }
+    if selected("ladder") {
+        ladder();
+    }
+    if selected("merge") {
+        merge_sensitivity();
+    }
+    if selected("redo") {
+        redo_at_server();
+    }
+    if selected("clients") {
+        client_sweep();
+    }
+    if selected("clustered") {
+        clustered();
+    }
+    if selected("network") {
+        slow_network();
+    }
+}

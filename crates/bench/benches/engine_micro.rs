@@ -1,0 +1,103 @@
+//! Criterion benchmarks of the real engine: end-to-end transaction
+//! latency/throughput through threads, channels, the WAL and the buffer
+//! pool, per protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fgs_core::{Oid, PageId, Protocol};
+use fgs_oodb::{EngineConfig, Oodb};
+use std::hint::black_box;
+
+fn config(protocol: Protocol) -> EngineConfig {
+    EngineConfig {
+        protocol,
+        db_pages: 64,
+        objects_per_page: 8,
+        object_size: 64,
+        page_size: 4096,
+        n_clients: 2,
+        client_cache_pages: 64,
+        server_pool_pages: 64,
+    }
+}
+
+/// Warm-cache read-only transactions: the intertransaction-caching fast
+/// path (no server interaction at all).
+fn bench_cached_readonly_txn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cached_readonly_txn");
+    group.throughput(Throughput::Elements(1));
+    for protocol in [Protocol::Ps, Protocol::PsAa, Protocol::Os] {
+        let db = Oodb::open(config(protocol)).expect("open");
+        let s = db.session(0);
+        // Warm the cache.
+        s.run_txn(4, |t| t.read(Oid::new(PageId(1), 0)).map(|_| ()))
+            .expect("warm");
+        group.bench_function(protocol.name(), |b| {
+            b.iter(|| {
+                s.begin().unwrap();
+                let v = s.read(Oid::new(PageId(1), 0)).unwrap();
+                s.commit().unwrap();
+                black_box(v.len())
+            });
+        });
+        db.shutdown();
+    }
+    group.finish();
+}
+
+/// Update transactions: write lock acquisition + commit with log force.
+fn bench_update_txn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_update_txn");
+    group.throughput(Throughput::Elements(1));
+    for protocol in Protocol::ALL {
+        let db = Oodb::open(config(protocol)).expect("open");
+        let s = db.session(0);
+        let mut n = 0u64;
+        group.bench_function(protocol.name(), |b| {
+            b.iter(|| {
+                n += 1;
+                s.run_txn(4, |t| {
+                    t.write(
+                        Oid::new(PageId(2), (n % 8) as u16),
+                        n.to_le_bytes().to_vec(),
+                    )
+                })
+                .unwrap();
+            });
+        });
+        db.shutdown();
+    }
+    group.finish();
+}
+
+/// Cross-client invalidation: a write whose page is cached at the other
+/// client (callback round trip through three threads).
+fn bench_invalidation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_write_with_callback");
+    group.throughput(Throughput::Elements(1));
+    for protocol in Protocol::ALL {
+        let db = Oodb::open(config(protocol)).expect("open");
+        let writer = db.session(0);
+        let reader = db.session(1);
+        let target = Oid::new(PageId(3), 0);
+        let mut n = 0u64;
+        group.bench_function(protocol.name(), |b| {
+            b.iter(|| {
+                // Reader caches the page, then the writer updates it.
+                reader.run_txn(8, |t| t.read(target).map(|_| ())).unwrap();
+                n += 1;
+                writer
+                    .run_txn(8, |t| t.write(target, n.to_le_bytes().to_vec()))
+                    .unwrap();
+            });
+        });
+        db.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_cached_readonly_txn, bench_update_txn, bench_invalidation
+}
+criterion_main!(benches);

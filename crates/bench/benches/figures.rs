@@ -1,0 +1,35 @@
+//! Regenerates every throughput figure of the paper (Figures 3-14).
+//!
+//! Run via `cargo bench -p fgs-bench --bench figures`. Control with env:
+//!   FGS_FIGURES=fig3,fig9   run a subset (default: all)
+//!   FGS_QUALITY=quick|full  run length per point (default: full)
+//!   FGS_RESULTS=results     output directory for .json/.txt series
+
+use fgs_bench::{run_figure, save_figure, Quality, FIGURE_IDS};
+use std::time::Instant;
+
+fn main() {
+    let quality = match std::env::var("FGS_QUALITY").as_deref() {
+        Ok("quick") => Quality::Quick,
+        _ => Quality::Full,
+    };
+    let selected: Vec<String> = match std::env::var("FGS_FIGURES") {
+        Ok(s) => s.split(',').map(|x| x.trim().to_string()).collect(),
+        Err(_) => FIGURE_IDS.iter().map(|s| s.to_string()).collect(),
+    };
+    // `cargo bench` runs with the package as CWD; default to the
+    // workspace-level results directory.
+    let out_dir = match std::env::var("FGS_RESULTS") {
+        Ok(dir) => std::path::PathBuf::from(dir),
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"),
+    };
+    for id in &selected {
+        let t0 = Instant::now();
+        let fig = run_figure(id, quality);
+        println!("{}", fig.to_table());
+        println!("({id} regenerated in {:.1?})\n", t0.elapsed());
+        if let Err(e) = save_figure(&fig, &out_dir) {
+            eprintln!("warning: could not save {id}: {e}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Criterion microbenchmarks of the protocol engines' hot paths: these
+//! are the operations the simulator executes millions of times per run
+//! and the real engine executes per client request.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fgs_core::client::ClientEngine;
+use fgs_core::server::ServerEngine;
+use fgs_core::{ClientId, Oid, PageId, Protocol, Request, TxnId};
+use std::hint::black_box;
+
+const OPP: u16 = 20;
+
+fn oid(p: u32, s: u16) -> Oid {
+    Oid::new(PageId(p), s)
+}
+
+/// Server engine: the read-miss fast path (lock check + copy register +
+/// page ship) across protocols.
+fn bench_server_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_read_grant");
+    for protocol in Protocol::ALL {
+        group.bench_function(protocol.name(), |b| {
+            let mut page = 0u32;
+            let mut server = ServerEngine::new(protocol, OPP);
+            b.iter(|| {
+                page = page.wrapping_add(1) % 1_250; // DB-sized working set
+                let txn = TxnId::new(ClientId(0), 1);
+                let out = server.handle(
+                    ClientId(0),
+                    Request::Read {
+                        txn,
+                        oid: oid(page, 3),
+                    },
+                );
+                black_box(out.actions.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Client engine: the cache-hit fast path (local read lock + touch).
+fn bench_client_hit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client_cache_hit");
+    for protocol in [Protocol::Ps, Protocol::PsAa, Protocol::Os] {
+        group.bench_function(protocol.name(), |b| {
+            b.iter_batched(
+                || {
+                    // A client with one hot page cached and a running txn.
+                    let mut client = ClientEngine::new(ClientId(0), protocol, OPP, 64);
+                    client.begin(TxnId::new(ClientId(0), 1));
+                    let mut server = ServerEngine::new(protocol, OPP);
+                    let out = client.access(oid(1, 0), false);
+                    for a in out.actions {
+                        if let fgs_core::ClientAction::Send(req) = a {
+                            let so = server.handle(ClientId(0), req);
+                            for sa in so.actions {
+                                let fgs_core::ServerAction::Send { msg, .. } = sa;
+                                let _ = client.handle_server(msg);
+                            }
+                        }
+                    }
+                    (client, 0u16)
+                },
+                |(mut client, _slot)| {
+                    // Re-read the one object every protocol has cached
+                    // (OS caches per object, so only slot 0 is resident).
+                    for _ in 0..100 {
+                        let out = client.access(oid(1, 0), false);
+                        black_box(out.actions.len());
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Full protocol round trip: write request → callback → reply → grant,
+/// with one remote copy holder (the contended path).
+fn bench_callback_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_with_callback");
+    for protocol in Protocol::ALL {
+        group.bench_function(protocol.name(), |b| {
+            b.iter_batched(
+                || {
+                    let mut server = ServerEngine::new(protocol, OPP);
+                    let mut reader = ClientEngine::new(ClientId(1), protocol, OPP, 64);
+                    // Client 1 caches page 5 (read it once, commit).
+                    reader.begin(TxnId::new(ClientId(1), 1));
+                    let out = reader.access(oid(5, 0), false);
+                    pump(&mut server, &mut reader, out.actions);
+                    let out = reader.commit();
+                    pump(&mut server, &mut reader, out.actions);
+                    (server, reader, 0u64)
+                },
+                |(mut server, mut reader, mut seq)| {
+                    // Client 0 write-locks an object: callback to client 1.
+                    seq += 1;
+                    let mut writer = ClientEngine::new(ClientId(0), protocol, OPP, 64);
+                    writer.begin(TxnId::new(ClientId(0), seq));
+                    let out = writer.access(oid(5, 1), true);
+                    for a in out.actions {
+                        if let fgs_core::ClientAction::Send(req) = a {
+                            let so = server.handle(ClientId(0), req);
+                            for sa in so.actions {
+                                let fgs_core::ServerAction::Send { to, msg } = sa;
+                                let target = if to == ClientId(0) {
+                                    &mut writer
+                                } else {
+                                    &mut reader
+                                };
+                                let co = target.handle_server(msg);
+                                for ca in co.actions {
+                                    if let fgs_core::ClientAction::Send(req) = ca {
+                                        let so2 = server.handle(to, req);
+                                        for sa2 in so2.actions {
+                                            let fgs_core::ServerAction::Send { to: t2, msg } = sa2;
+                                            let tgt = if t2 == ClientId(0) {
+                                                &mut writer
+                                            } else {
+                                                &mut reader
+                                            };
+                                            black_box(tgt.handle_server(msg).actions.len());
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    black_box(server.stats().callbacks_sent)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn pump(
+    server: &mut ServerEngine,
+    client: &mut ClientEngine,
+    actions: Vec<fgs_core::ClientAction>,
+) {
+    for a in actions {
+        if let fgs_core::ClientAction::Send(req) = a {
+            let so = server.handle(client.id(), req);
+            for sa in so.actions {
+                let fgs_core::ServerAction::Send { msg, .. } = sa;
+                let out = client.handle_server(msg);
+                pump(server, client, out.actions);
+            }
+        }
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_server_read,
+    bench_client_hit,
+    bench_callback_cycle
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Prints the reconstruction of the paper's Table 1 (system and overhead
+//! parameters) and Table 2 (workload parameters) from the live defaults.
+
+use fgs_bench::{table1, table2};
+
+fn main() {
+    println!("{}", table1());
+    println!("{}", table2());
+}

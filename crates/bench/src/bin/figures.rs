@@ -1,0 +1,31 @@
+//! Command-line entry point for regenerating the paper's figures:
+//! `cargo run --release -p fgs-bench --bin figures -- fig3 fig4` (no args:
+//! all figures). `--quick` shortens each run for smoke checks.
+
+use fgs_bench::{run_figure, save_figure, Quality, FIGURE_IDS};
+
+fn main() {
+    let mut quality = Quality::Full;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quality = Quality::Quick,
+            "--help" | "-h" => {
+                eprintln!("usage: figures [--quick] [fig3 fig4 ... | all]");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = FIGURE_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    let out = std::path::PathBuf::from("results");
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        let fig = run_figure(id, quality);
+        println!("{}", fig.to_table());
+        println!("({id} in {:.1?})\n", t0.elapsed());
+        let _ = save_figure(&fig, &out);
+    }
+}

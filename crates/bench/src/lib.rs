@@ -1,0 +1,387 @@
+//! # fgs-bench
+//!
+//! The experiment catalog: one entry per table and figure of the paper's
+//! evaluation (§5), each mapping to the simulator configuration that
+//! regenerates it. The `figures` bench target (and the `figures` binary)
+//! run entries from this catalog and print the same series the paper
+//! plots; results land in `results/` as JSON.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use fgs_core::Protocol;
+use fgs_sim::{normalize_to, sweep_probs, Figure, RunConfig, Series, SystemConfig};
+use fgs_workload::{page_write_prob, Locality, WorkloadSpec};
+
+/// How long to simulate each point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quality {
+    /// Short runs for CI / smoke checking (60 measured seconds).
+    Quick,
+    /// Full-length runs as reported in EXPERIMENTS.md (200 measured s).
+    Full,
+}
+
+impl Quality {
+    /// The run-length configuration for this quality.
+    pub fn run_config(self) -> RunConfig {
+        match self {
+            Quality::Quick => RunConfig {
+                duration: 70.0,
+                warmup: 10.0,
+                batches: 5,
+                ..RunConfig::default()
+            },
+            Quality::Full => RunConfig::default(),
+        }
+    }
+}
+
+/// The write-probability grid of the throughput figures.
+pub const GRID: [f64; 7] = [0.0, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30];
+/// The extended grid used for HICON (the PS/PS-AA crossover sits beyond
+/// 0.2) and PRIVATE (message costs keep growing with write probability).
+pub const GRID_WIDE: [f64; 9] = [0.0, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50];
+
+/// All figure ids in the catalog, in paper order.
+pub const FIGURE_IDS: [&str; 12] = [
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14",
+];
+
+/// Runs one catalog entry.
+pub fn run_figure(id: &str, quality: Quality) -> Figure {
+    let sys = SystemConfig::default();
+    let run = quality.run_config();
+    let all = &Protocol::ALL[..];
+    match id {
+        "fig3" => sweep_probs(
+            "fig3",
+            "HOTCOLD throughput, low page locality (30 pages, 1-7 objs)",
+            all,
+            &sys,
+            &run,
+            &GRID,
+            |w| WorkloadSpec::hotcold(Locality::Low, w),
+        ),
+        "fig4" => sweep_probs(
+            "fig4",
+            "HOTCOLD throughput, high page locality (10 pages, 8-16 objs)",
+            all,
+            &sys,
+            &run,
+            &GRID,
+            |w| WorkloadSpec::hotcold(Locality::High, w),
+        ),
+        "fig5" => figure5(),
+        "fig6" => sweep_probs(
+            "fig6",
+            "UNIFORM throughput, low page locality",
+            all,
+            &sys,
+            &run,
+            &GRID,
+            |w| WorkloadSpec::uniform(Locality::Low, w),
+        ),
+        "fig7" => sweep_probs(
+            "fig7",
+            "UNIFORM throughput, high page locality",
+            all,
+            &sys,
+            &run,
+            &GRID,
+            |w| WorkloadSpec::uniform(Locality::High, w),
+        ),
+        "fig8" => sweep_probs(
+            "fig8",
+            "HICON throughput, low page locality",
+            all,
+            &sys,
+            &run,
+            &GRID,
+            |w| WorkloadSpec::hicon(Locality::Low, w),
+        ),
+        "fig9" => sweep_probs(
+            "fig9",
+            "HICON throughput, high page locality",
+            all,
+            &sys,
+            &run,
+            &GRID_WIDE,
+            |w| WorkloadSpec::hicon(Locality::High, w),
+        ),
+        "fig10" => sweep_probs(
+            "fig10",
+            "PRIVATE throughput, high page locality",
+            all,
+            &sys,
+            &run,
+            &GRID_WIDE,
+            |w| WorkloadSpec::private(Locality::High, w),
+        ),
+        "fig11" => sweep_probs(
+            "fig11",
+            "Interleaved PRIVATE throughput (extreme false sharing)",
+            all,
+            &sys,
+            &run,
+            &GRID_WIDE,
+            WorkloadSpec::interleaved_private,
+        ),
+        "fig12" => scaled_figure(
+            "fig12",
+            "HOTCOLD scaled 9x DB / 3x txn, normalized to PS-AA",
+            quality,
+            |w| WorkloadSpec::hotcold(Locality::Low, w).scaled(9, 3),
+        ),
+        "fig13" => scaled_figure(
+            "fig13",
+            "UNIFORM scaled 9x DB / 3x txn, normalized to PS-AA",
+            quality,
+            |w| WorkloadSpec::uniform(Locality::Low, w).scaled(9, 3),
+        ),
+        "fig14" => scaled_figure(
+            "fig14",
+            "HICON scaled 9x DB / 3x txn, normalized to PS-AA",
+            quality,
+            |w| WorkloadSpec::hicon(Locality::Low, w).scaled(9, 3),
+        ),
+        other => panic!("unknown figure id: {other}"),
+    }
+}
+
+/// Figure 5 is analytic: per-page update probability as a function of the
+/// per-object update probability, for several page localities.
+fn figure5() -> Figure {
+    let xs: Vec<f64> = (0..=20).map(|i| i as f64 * 0.025).collect();
+    let series = [2.0, 4.0, 12.0]
+        .iter()
+        .map(|&k| Series {
+            protocol: format!("locality {k}"),
+            points: xs.iter().map(|&w| (w, page_write_prob(w, k))).collect(),
+        })
+        .collect();
+    Figure {
+        id: "fig5".to_string(),
+        title: "Per-page update probability vs per-object update probability".to_string(),
+        x_label: "write_prob".to_string(),
+        y_label: "page write probability".to_string(),
+        series,
+        runs: Vec::new(),
+    }
+}
+
+/// The §5.6.1 scale-up experiments, reported normalized to PS-AA. Uses a
+/// reduced grid (these runs are ~10× bigger than the base experiments).
+fn scaled_figure(
+    id: &str,
+    title: &str,
+    quality: Quality,
+    make_spec: impl Fn(f64) -> WorkloadSpec,
+) -> Figure {
+    let sys = SystemConfig::default();
+    let run = quality.run_config();
+    let grid = [0.0, 0.05, 0.10, 0.20, 0.30];
+    let raw = sweep_probs(id, title, &Protocol::ALL, &sys, &run, &grid, make_spec);
+    let mut fig = normalize_to(&raw, Protocol::PsAa);
+    fig.id = id.to_string();
+    fig.title = title.to_string();
+    fig.runs = raw.runs;
+    fig
+}
+
+/// Renders Table 1 (system and overhead parameters) from the live config.
+pub fn table1() -> String {
+    let c = SystemConfig::default();
+    let rows: Vec<(&str, String)> = vec![
+        ("ClientCPU", format!("{} MIPS", c.client_mips)),
+        ("ServerCPU", format!("{} MIPS", c.server_mips)),
+        (
+            "ClientBufSize",
+            format!("{}% of DB size", c.client_buf_frac * 100.0),
+        ),
+        (
+            "ServerBufSize",
+            format!("{}% of DB size", c.server_buf_frac * 100.0),
+        ),
+        ("ServerDisks", format!("{} disks", c.server_disks)),
+        ("MinDiskTime", format!("{} ms", c.min_disk_time * 1e3)),
+        ("MaxDiskTime", format!("{} ms", c.max_disk_time * 1e3)),
+        (
+            "NetworkBandwidth",
+            format!("{} Mbits/sec", c.network_bps / 1e6),
+        ),
+        ("NumClients", format!("{}", c.num_clients)),
+        ("PageSize", format!("{} bytes", c.page_size)),
+        (
+            "ObjectsPerPage",
+            format!("{} objects", fgs_workload::OBJECTS_PER_PAGE),
+        ),
+        ("DatabaseSize", format!("{} pages", fgs_workload::DB_PAGES)),
+        ("FixedMsgInst", format!("{} instructions", c.fixed_msg_inst)),
+        (
+            "PerByteMsgInst",
+            format!("{} per 4KB page", c.per_page_msg_inst),
+        ),
+        ("ControlMsgSize", format!("{} bytes", c.control_msg_bytes)),
+        ("LockInst", format!("{} instructions", c.lock_inst)),
+        (
+            "RegisterCopyInst",
+            format!("{} instructions", c.register_copy_inst),
+        ),
+        (
+            "DiskOverheadInst",
+            format!("{} instructions", c.disk_overhead_inst),
+        ),
+        ("CopyMergeInst", format!("{} per object", c.copy_merge_inst)),
+        (
+            "ObjectProcInst",
+            format!("{} per object read (2x write)", c.object_proc_inst),
+        ),
+    ];
+    let mut out = String::from("# Table 1: System and Overhead Parameters\n");
+    for (k, v) in rows {
+        out.push_str(&format!("{k:<20} {v}\n"));
+    }
+    out
+}
+
+/// Renders Table 2 (workload parameters) from the live specs.
+pub fn table2() -> String {
+    let mut out = String::from("# Table 2: Workload Parameters\n");
+    out.push_str(&format!(
+        "{:<22}{:>10}{:>10}{:>10}{:>10}\n",
+        "parameter", "HOTCOLD", "UNIFORM", "HICON", "PRIVATE"
+    ));
+    let specs = [
+        WorkloadSpec::hotcold(Locality::Low, 0.0),
+        WorkloadSpec::uniform(Locality::Low, 0.0),
+        WorkloadSpec::hicon(Locality::Low, 0.0),
+        WorkloadSpec::private(Locality::High, 0.0),
+    ];
+    let hot_desc = |s: &WorkloadSpec| match s.hot {
+        fgs_workload::HotRange::None => "-".to_string(),
+        fgs_workload::HotRange::PerClient { pages } => format!("{pages}/client"),
+        fgs_workload::HotRange::Shared { pages } => format!("{pages} shared"),
+    };
+    type Col = Box<dyn Fn(&WorkloadSpec) -> String>;
+    let rows: Vec<(&str, Col)> = vec![
+        (
+            "TransSize (pages)",
+            Box::new(|s: &WorkloadSpec| s.trans_size_pages.to_string()),
+        ),
+        (
+            "PageLocality",
+            Box::new(|s: &WorkloadSpec| format!("{}-{}", s.page_locality.0, s.page_locality.1)),
+        ),
+        ("HotRange (pages)", Box::new(hot_desc)),
+        (
+            "HotAccessProb",
+            Box::new(|s: &WorkloadSpec| format!("{:.2}", s.hot_access_prob)),
+        ),
+        (
+            "ColdRange",
+            Box::new(|s: &WorkloadSpec| match s.cold {
+                fgs_workload::ColdRange::WholeDb => "whole DB".to_string(),
+                fgs_workload::ColdRange::SecondHalf => "2nd half".to_string(),
+            }),
+        ),
+        (
+            "ColdWriteProb",
+            Box::new(|s: &WorkloadSpec| {
+                if s.cold_write_prob == s.hot_write_prob {
+                    "= hot".to_string()
+                } else {
+                    format!("{:.2}", s.cold_write_prob)
+                }
+            }),
+        ),
+    ];
+    for (name, f) in rows {
+        out.push_str(&format!("{name:<22}"));
+        for s in &specs {
+            out.push_str(&format!("{:>10}", f(s)));
+        }
+        out.push('\n');
+    }
+    out.push_str("HotWriteProb          (x-axis of every figure)\n");
+    out
+}
+
+/// Writes a figure's JSON, text table and CSV under `dir`.
+pub fn save_figure(fig: &Figure, dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let json = serde_json::to_string_pretty(fig).expect("figures serialize");
+    std::fs::write(dir.join(format!("{}.json", fig.id)), json)?;
+    std::fs::write(dir.join(format!("{}.txt", fig.id)), fig.to_table())?;
+    std::fs::write(dir.join(format!("{}.csv", fig.id)), figure_csv(fig))?;
+    Ok(())
+}
+
+/// Renders a figure as CSV: one row per x-value, one column per series.
+pub fn figure_csv(fig: &Figure) -> String {
+    let mut out = String::from("write_prob");
+    for s in &fig.series {
+        out.push(',');
+        out.push_str(&s.protocol);
+    }
+    out.push('\n');
+    let xs: Vec<f64> = fig
+        .series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.0).collect())
+        .unwrap_or_default();
+    for (i, x) in xs.iter().enumerate() {
+        out.push_str(&format!("{x}"));
+        for s in &fig.series {
+            match s.points.get(i) {
+                Some(&(_, y)) => out.push_str(&format!(",{y}")),
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_is_instant_and_correct() {
+        let fig = run_figure("fig5", Quality::Quick);
+        assert_eq!(fig.series.len(), 3);
+        // locality 12 curve saturates near 1 by w = 0.3.
+        let s12 = &fig.series[2];
+        let (w, p) = s12.points[12];
+        assert!((w - 0.3).abs() < 1e-9);
+        assert!(p > 0.98);
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let fig = run_figure("fig5", Quality::Quick);
+        let csv = figure_csv(&fig);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "write_prob,locality 2,locality 4,locality 12"
+        );
+        assert_eq!(lines.count(), 21, "one row per x value");
+    }
+
+    #[test]
+    fn tables_render() {
+        let t1 = table1();
+        assert!(t1.contains("15 MIPS") && t1.contains("1250 pages"));
+        let t2 = table2();
+        assert!(t2.contains("HOTCOLD") && t2.contains("25/client"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown figure id")]
+    fn unknown_figure_rejected() {
+        let _ = run_figure("fig99", Quality::Quick);
+    }
+}

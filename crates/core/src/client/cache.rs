@@ -1,0 +1,378 @@
+//! Client cache state: LRU over pages (page-transfer protocols) or over
+//! individual objects (the object server).
+//!
+//! The cache tracks *logical* residency and per-object availability; actual
+//! bytes live in the embedding layer. Page entries carry an availability
+//! bitmask: a slot is readable only while its bit is set ("unavailable"
+//! objects are those called back by remote writers, §3.3.1).
+
+#[cfg(test)]
+use crate::ids::SlotId;
+use crate::ids::{Oid, PageId};
+use crate::msg::CopyEpoch;
+use std::collections::{BTreeMap, HashMap};
+
+/// The availability mask with the low `n` bits set.
+pub fn full_mask(objects_per_page: u16) -> u64 {
+    assert!((1..=64).contains(&objects_per_page));
+    if objects_per_page == 64 {
+        u64::MAX
+    } else {
+        (1u64 << objects_per_page) - 1
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PageEntry {
+    avail: u64,
+    epoch: CopyEpoch,
+    tick: u64,
+}
+
+/// An LRU cache of pages with per-slot availability.
+#[derive(Debug)]
+pub struct PageCache {
+    capacity: usize,
+    objects_per_page: u16,
+    entries: HashMap<PageId, PageEntry>,
+    lru: BTreeMap<u64, PageId>,
+    tick: u64,
+}
+
+impl PageCache {
+    /// A cache holding at most `capacity` pages.
+    pub fn new(capacity: usize, objects_per_page: u16) -> Self {
+        assert!(capacity > 0);
+        PageCache {
+            capacity,
+            objects_per_page,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the cache is over capacity (eviction needed).
+    pub fn over_capacity(&self) -> bool {
+        self.entries.len() > self.capacity
+    }
+
+    /// Whether `page` is resident (regardless of slot availability).
+    pub fn has_page(&self, page: PageId) -> bool {
+        self.entries.contains_key(&page)
+    }
+
+    /// Whether `oid` is readable: its page is resident and the slot is
+    /// available.
+    pub fn readable(&self, oid: Oid) -> bool {
+        self.entries
+            .get(&oid.page)
+            .is_some_and(|e| e.avail & (1 << oid.slot) != 0)
+    }
+
+    /// The epoch of the cached copy, if resident.
+    pub fn epoch(&self, page: PageId) -> Option<CopyEpoch> {
+        self.entries.get(&page).map(|e| e.epoch)
+    }
+
+    /// The availability mask of the cached copy, if resident.
+    pub fn avail_mask(&self, page: PageId) -> Option<u64> {
+        self.entries.get(&page).map(|e| e.avail)
+    }
+
+    /// Marks `page` most recently used.
+    pub fn touch(&mut self, page: PageId) {
+        let next = self.next_tick();
+        if let Some(e) = self.entries.get_mut(&page) {
+            self.lru.remove(&e.tick);
+            e.tick = next;
+            self.lru.insert(next, page);
+        }
+    }
+
+    /// Installs (or refreshes) `page` with the given availability and
+    /// epoch, making it most recently used. Returns the previous
+    /// availability mask if the page was already resident (the caller
+    /// merges local uncommitted updates).
+    pub fn install(&mut self, page: PageId, avail: u64, epoch: CopyEpoch) -> Option<u64> {
+        let next = self.next_tick();
+        match self.entries.get_mut(&page) {
+            Some(e) => {
+                let old = e.avail;
+                self.lru.remove(&e.tick);
+                e.avail = avail;
+                e.epoch = epoch;
+                e.tick = next;
+                self.lru.insert(next, page);
+                Some(old)
+            }
+            None => {
+                self.entries.insert(
+                    page,
+                    PageEntry {
+                        avail,
+                        epoch,
+                        tick: next,
+                    },
+                );
+                self.lru.insert(next, page);
+                None
+            }
+        }
+    }
+
+    /// Marks one slot unavailable. No-op if the page is not resident.
+    pub fn mark_unavailable(&mut self, oid: Oid) {
+        if let Some(e) = self.entries.get_mut(&oid.page) {
+            e.avail &= !(1 << oid.slot);
+        }
+    }
+
+    /// Marks one slot available (after a local write makes the client's
+    /// copy authoritative).
+    pub fn mark_available(&mut self, oid: Oid) {
+        if let Some(e) = self.entries.get_mut(&oid.page) {
+            e.avail |= 1 << oid.slot;
+        }
+    }
+
+    /// Removes `page`, returning the epoch of the dropped copy.
+    pub fn purge(&mut self, page: PageId) -> Option<CopyEpoch> {
+        let e = self.entries.remove(&page)?;
+        self.lru.remove(&e.tick);
+        Some(e.epoch)
+    }
+
+    /// Evicts the least-recently-used page for which `pinned` is false.
+    /// Returns the victim, or `None` if everything is pinned.
+    pub fn evict_lru(&mut self, pinned: impl Fn(PageId) -> bool) -> Option<PageId> {
+        let victim = self.lru.values().copied().find(|&p| !pinned(p))?;
+        self.purge(victim);
+        Some(victim)
+    }
+
+    /// Iterates over resident pages (unspecified order).
+    pub fn pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// The configured number of objects per page.
+    pub fn objects_per_page(&self) -> u16 {
+        self.objects_per_page
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ObjEntry {
+    tick: u64,
+}
+
+/// An LRU cache of individual objects (the object server's client cache).
+#[derive(Debug)]
+pub struct ObjectCache {
+    capacity: usize,
+    entries: HashMap<Oid, ObjEntry>,
+    lru: BTreeMap<u64, Oid>,
+    tick: u64,
+}
+
+impl ObjectCache {
+    /// A cache holding at most `capacity` objects.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        ObjectCache {
+            capacity,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no objects are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the cache is over capacity (eviction needed).
+    pub fn over_capacity(&self) -> bool {
+        self.entries.len() > self.capacity
+    }
+
+    /// Whether `oid` is resident.
+    pub fn readable(&self, oid: Oid) -> bool {
+        self.entries.contains_key(&oid)
+    }
+
+    /// Marks `oid` most recently used.
+    pub fn touch(&mut self, oid: Oid) {
+        let next = self.next_tick();
+        if let Some(e) = self.entries.get_mut(&oid) {
+            self.lru.remove(&e.tick);
+            e.tick = next;
+            self.lru.insert(next, oid);
+        }
+    }
+
+    /// Installs `oid`, making it most recently used.
+    pub fn install(&mut self, oid: Oid) {
+        let next = self.next_tick();
+        if let Some(e) = self.entries.get_mut(&oid) {
+            self.lru.remove(&e.tick);
+            e.tick = next;
+        } else {
+            self.entries.insert(oid, ObjEntry { tick: next });
+        }
+        self.lru.insert(next, oid);
+    }
+
+    /// Removes `oid`. Returns whether it was resident.
+    pub fn purge(&mut self, oid: Oid) -> bool {
+        match self.entries.remove(&oid) {
+            Some(e) => {
+                self.lru.remove(&e.tick);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over resident objects (unspecified order).
+    pub fn objects(&self) -> impl Iterator<Item = Oid> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Evicts the least-recently-used object for which `pinned` is false.
+    pub fn evict_lru(&mut self, pinned: impl Fn(Oid) -> bool) -> Option<Oid> {
+        let victim = self.lru.values().copied().find(|&o| !pinned(o))?;
+        self.purge(victim);
+        Some(victim)
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(p: u32, s: SlotId) -> Oid {
+        Oid::new(PageId(p), s)
+    }
+
+    #[test]
+    fn full_mask_widths() {
+        assert_eq!(full_mask(1), 1);
+        assert_eq!(full_mask(20), (1 << 20) - 1);
+        assert_eq!(full_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn page_cache_readability_follows_mask() {
+        let mut c = PageCache::new(4, 20);
+        c.install(PageId(1), full_mask(20) & !(1 << 3), 1);
+        assert!(c.readable(oid(1, 0)));
+        assert!(!c.readable(oid(1, 3)));
+        assert!(!c.readable(oid(2, 0)), "other pages absent");
+        c.mark_unavailable(oid(1, 0));
+        assert!(!c.readable(oid(1, 0)));
+        c.mark_available(oid(1, 0));
+        assert!(c.readable(oid(1, 0)));
+    }
+
+    #[test]
+    fn page_cache_lru_eviction_order() {
+        let mut c = PageCache::new(2, 4);
+        c.install(PageId(1), full_mask(4), 1);
+        c.install(PageId(2), full_mask(4), 1);
+        c.touch(PageId(1)); // 2 is now LRU
+        c.install(PageId(3), full_mask(4), 1);
+        assert!(c.over_capacity());
+        let victim = c.evict_lru(|_| false).expect("evictable");
+        assert_eq!(victim, PageId(2));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn page_cache_respects_pins() {
+        let mut c = PageCache::new(1, 4);
+        c.install(PageId(1), full_mask(4), 1);
+        c.install(PageId(2), full_mask(4), 1);
+        let victim = c.evict_lru(|p| p == PageId(1)).expect("evictable");
+        assert_eq!(victim, PageId(2), "pinned page skipped");
+        c.install(PageId(3), full_mask(4), 1);
+        assert!(c.evict_lru(|_| true).is_none(), "all pinned");
+    }
+
+    #[test]
+    fn page_install_returns_old_mask_for_merge() {
+        let mut c = PageCache::new(4, 8);
+        assert_eq!(c.install(PageId(1), 0b1111, 1), None);
+        assert_eq!(c.install(PageId(1), 0b1010, 2), Some(0b1111));
+        assert_eq!(c.epoch(PageId(1)), Some(2));
+        assert_eq!(c.avail_mask(PageId(1)), Some(0b1010));
+    }
+
+    #[test]
+    fn page_purge_returns_epoch() {
+        let mut c = PageCache::new(4, 8);
+        c.install(PageId(1), 0b1, 7);
+        assert_eq!(c.purge(PageId(1)), Some(7));
+        assert_eq!(c.purge(PageId(1)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn object_cache_lru() {
+        let mut c = ObjectCache::new(2);
+        c.install(oid(1, 0));
+        c.install(oid(1, 1));
+        c.touch(oid(1, 0));
+        c.install(oid(2, 0));
+        assert!(c.over_capacity());
+        assert_eq!(c.evict_lru(|_| false), Some(oid(1, 1)));
+        assert!(c.readable(oid(1, 0)));
+        assert!(!c.readable(oid(1, 1)));
+    }
+
+    #[test]
+    fn object_cache_purge_and_pin() {
+        let mut c = ObjectCache::new(1);
+        c.install(oid(1, 0));
+        assert!(c.purge(oid(1, 0)));
+        assert!(!c.purge(oid(1, 0)));
+        c.install(oid(2, 0));
+        c.install(oid(2, 1));
+        assert_eq!(c.evict_lru(|o| o == oid(2, 0)), Some(oid(2, 1)));
+    }
+
+    #[test]
+    fn reinstall_same_object_keeps_single_entry() {
+        let mut c = ObjectCache::new(4);
+        c.install(oid(1, 0));
+        c.install(oid(1, 0));
+        assert_eq!(c.len(), 1);
+    }
+}

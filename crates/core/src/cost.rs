@@ -1,0 +1,51 @@
+//! CPU-accounting deltas shared by the client and server engines.
+
+/// CPU-accounting deltas produced while handling one input, charged by the
+/// simulator at the appropriate CPU (`LockInst`, `RegisterCopyInst`,
+/// `CopyMergeInst` in the paper's Table 1). The real engine ignores them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Cost {
+    /// Lock table operations (acquire/release pairs, conversions, checks).
+    pub lock_ops: u32,
+    /// Copy-table register/unregister operations.
+    pub copy_ops: u32,
+    /// Objects merged between divergent page copies.
+    pub merged_objects: u32,
+}
+
+impl Cost {
+    /// Adds another cost delta.
+    pub fn add(&mut self, other: Cost) {
+        self.lock_ops += other.lock_ops;
+        self.copy_ops += other.copy_ops;
+        self.merged_objects += other.merged_objects;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Cost;
+
+    #[test]
+    fn cost_accumulates() {
+        let mut c = Cost::default();
+        c.add(Cost {
+            lock_ops: 2,
+            copy_ops: 1,
+            merged_objects: 3,
+        });
+        c.add(Cost {
+            lock_ops: 1,
+            copy_ops: 0,
+            merged_objects: 0,
+        });
+        assert_eq!(
+            c,
+            Cost {
+                lock_ops: 3,
+                copy_ops: 1,
+                merged_objects: 3
+            }
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Identifiers for clients, transactions, pages and objects.
+
+use std::fmt;
+
+/// Identifies a client workstation (the `Client DBMS` process of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub u16);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Identifies a transaction, globally unique: a client id plus a per-client
+/// sequence number. Transaction *age* (for deadlock victim selection) is
+/// assigned separately by the server when it first hears from the
+/// transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId {
+    /// The client running the transaction.
+    pub client: ClientId,
+    /// Per-client transaction sequence number.
+    pub seq: u64,
+}
+
+impl TxnId {
+    /// Builds a transaction id.
+    pub fn new(client: ClientId, seq: u64) -> Self {
+        TxnId { client, seq }
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}.{}", self.client.0, self.seq)
+    }
+}
+
+/// Identifies a fixed-length database page, the unit of disk transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The index of an object's slot within its page.
+pub type SlotId = u16;
+
+/// Identifies an object: the page holding it plus its slot.
+///
+/// The paper assumes objects smaller than a page (large objects are handled
+/// page-at-a-time, as in EXODUS), so an object lives on exactly one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid {
+    /// The containing page.
+    pub page: PageId,
+    /// The slot within the page.
+    pub slot: SlotId,
+}
+
+impl Oid {
+    /// Builds an object id from a page and slot.
+    pub fn new(page: PageId, slot: SlotId) -> Self {
+        Oid { page, slot }
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+/// A lockable/callback-able granule: a whole page or a single object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Item {
+    /// A whole page.
+    Page(PageId),
+    /// A single object.
+    Object(Oid),
+}
+
+impl Item {
+    /// The page this item lives on.
+    pub fn page(&self) -> PageId {
+        match *self {
+            Item::Page(p) => p,
+            Item::Object(o) => o.page,
+        }
+    }
+
+    /// Whether two granules overlap: same page when either is page-level,
+    /// same object otherwise.
+    pub fn overlaps(&self, other: &Item) -> bool {
+        if self.page() != other.page() {
+            return false;
+        }
+        match (self, other) {
+            (Item::Page(_), _) | (_, Item::Page(_)) => true,
+            (Item::Object(a), Item::Object(b)) => a.slot == b.slot,
+        }
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Item::Page(p) => write!(f, "{p}"),
+            Item::Object(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(p: u32, s: SlotId) -> Oid {
+        Oid::new(PageId(p), s)
+    }
+
+    #[test]
+    fn item_overlap_rules() {
+        let p1 = Item::Page(PageId(1));
+        let p2 = Item::Page(PageId(2));
+        let o11 = Item::Object(oid(1, 1));
+        let o12 = Item::Object(oid(1, 2));
+        let o21 = Item::Object(oid(2, 1));
+
+        assert!(p1.overlaps(&p1));
+        assert!(!p1.overlaps(&p2));
+        assert!(p1.overlaps(&o11) && o11.overlaps(&p1));
+        assert!(o11.overlaps(&o11));
+        assert!(!o11.overlaps(&o12));
+        assert!(!o11.overlaps(&o21));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TxnId::new(ClientId(3), 7).to_string(), "T3.7");
+        assert_eq!(oid(5, 2).to_string(), "P5:2");
+        assert_eq!(Item::Page(PageId(9)).to_string(), "P9");
+    }
+
+    #[test]
+    fn item_page_projection() {
+        assert_eq!(Item::Object(oid(4, 0)).page(), PageId(4));
+        assert_eq!(Item::Page(PageId(4)).page(), PageId(4));
+    }
+}

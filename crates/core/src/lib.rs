@@ -1,0 +1,73 @@
+//! # fgs-core
+//!
+//! Protocol state machines for **fine-grained sharing in a page-server
+//! OODBMS**, reproducing Carey, Franklin & Zaharioudakis (SIGMOD 1994).
+//!
+//! A data-shipping OODBMS must pick a granularity for three functions:
+//! client–server data transfer, concurrency control, and replica
+//! management (callbacks). This crate implements the paper's five schemes —
+//! the basic page server ([`Protocol::Ps`]) and object server
+//! ([`Protocol::Os`]), plus three hybrids that transfer pages while
+//! locking and calling back at finer or adaptively chosen granularities
+//! ([`Protocol::PsOo`], [`Protocol::PsOa`], [`Protocol::PsAa`]) — as a pair
+//! of pure, timing-free state machines:
+//!
+//! * [`ServerEngine`] — lock tables at page and object granularity, copy
+//!   tables, callback orchestration, PS-AA lock de-escalation, waits-for
+//!   deadlock detection and victim abort;
+//! * [`ClientEngine`] — the client cache with per-object availability,
+//!   client-managed read locks, callback handling with busy-deferral, and
+//!   merge bookkeeping for concurrent page updates.
+//!
+//! Both engines consume one input at a time and emit lists of actions plus
+//! CPU-accounting deltas. The `fgs-sim` crate drives them under the paper's
+//! queueing model to reproduce its figures; the `fgs-oodb` crate drives the
+//! *same* engines with real threads, channels and disk pages, so the
+//! protocols cannot diverge between the evaluation and the system.
+//!
+//! ## Protocol requirements on the embedding
+//!
+//! * Messages between a client and the server must be delivered in FIFO
+//!   order in each direction (the engines rely on this; copy epochs guard
+//!   the one remaining cross-direction race).
+//! * Each client runs one transaction at a time (the paper's assumption).
+//! * Callbacks must be processed even while the client's application is
+//!   blocked waiting for a grant.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cost;
+mod ids;
+mod msg;
+mod protocol;
+
+/// Client-side protocol engine and cache.
+pub mod client {
+    mod cache;
+    mod engine;
+
+    pub use cache::{full_mask, ObjectCache, PageCache};
+    pub use engine::{ClientAction, ClientEngine, ClientOutcome, ClientStats, TxnOutcome};
+}
+
+/// Server-side protocol engine.
+pub mod server {
+    mod engine;
+    mod state;
+    mod wfg;
+
+    pub use engine::{Outcome, ServerAction, ServerEngine};
+    pub use state::ServerStats;
+}
+
+pub use cost::Cost;
+pub use ids::{ClientId, Item, Oid, PageId, SlotId, TxnId};
+pub use msg::{
+    AbortReason, CallbackId, CallbackReply, CallbackTarget, CopyEpoch, DataGrant, GrantLevel,
+    Request, ServerMsg, WriteSet,
+};
+pub use protocol::Protocol;
+
+pub use client::{ClientAction, ClientEngine, ClientOutcome, ClientStats, TxnOutcome};
+pub use server::{Outcome, ServerAction, ServerEngine, ServerStats};

@@ -1,0 +1,291 @@
+//! The client ⇄ server message vocabulary shared by the simulator and the
+//! real engine.
+//!
+//! Messages carry only *logical* content (ids, grants, availability marks).
+//! Actual page bytes are attached by the embedding layer: the simulator
+//! charges their transfer cost, the engine ships real buffers alongside.
+
+use crate::ids::{Oid, PageId, SlotId, TxnId};
+
+/// Identifies one callback operation, so replies can be matched to the
+/// originating write request even when several callbacks for the same page
+/// are in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallbackId(pub u64);
+
+/// A per-(client, page) copy epoch. The server increments it each time it
+/// ships the page to that client; callback replies quote the epoch of the
+/// copy they acted on, letting the server ignore stale deregistrations when
+/// a reply crosses a newer page shipment in flight (only possible in the
+/// real engine, where the two directions are separate FIFO channels).
+pub type CopyEpoch = u32;
+
+/// A message from a client to the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Permission (and data, if needed) to read `oid`. Page protocols
+    /// answer with the whole containing page.
+    Read {
+        /// Requesting transaction.
+        txn: TxnId,
+        /// Object being read.
+        oid: Oid,
+    },
+    /// A write lock on `oid` (page protocols may grant a whole-page lock).
+    /// `need_copy` asks the server to ship the data with the grant because
+    /// the client does not hold a usable copy.
+    Write {
+        /// Requesting transaction.
+        txn: TxnId,
+        /// Object being written.
+        oid: Oid,
+        /// Whether the grant must include a fresh copy of the data.
+        need_copy: bool,
+    },
+    /// A reply to a [`ServerMsg::Callback`].
+    CallbackReply {
+        /// The callback being answered.
+        callback: CallbackId,
+        /// Page the callback was about.
+        page: PageId,
+        /// What the client did.
+        reply: CallbackReply,
+    },
+    /// PS-AA: the response to [`ServerMsg::Deescalate`] — the client reports
+    /// which slots of `page` its transaction has updated under the page
+    /// write lock, converting that lock into object write locks.
+    DeescalateReply {
+        /// The transaction holding the page write lock.
+        txn: TxnId,
+        /// The page whose lock is being de-escalated.
+        page: PageId,
+        /// Slots updated so far under the page lock.
+        updated: Vec<SlotId>,
+    },
+    /// Commit: the client has shipped all dirty data (handled by the
+    /// embedding layer); the server releases locks and makes the updates
+    /// durable.
+    Commit {
+        /// Committing transaction.
+        txn: TxnId,
+        /// Pages updated, with the slots modified on each. Determines the
+        /// commit message's payload size and the server-side install work.
+        writes: Vec<WriteSet>,
+    },
+    /// Client-initiated abort.
+    Abort {
+        /// Aborting transaction.
+        txn: TxnId,
+    },
+}
+
+/// The set of slots a transaction updated on one page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteSet {
+    /// The updated page.
+    pub page: PageId,
+    /// The slots modified on that page (sorted, deduplicated).
+    pub slots: Vec<SlotId>,
+}
+
+/// What a client did in response to a callback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallbackReply {
+    /// The whole page was purged from the cache.
+    PagePurged {
+        /// Epoch of the purged copy.
+        epoch: CopyEpoch,
+    },
+    /// The page was kept (it is in use) but the requested object was marked
+    /// unavailable (adaptive callbacks, §3.3.2–3.3.3).
+    ObjectUnavailable {
+        /// The object marked unavailable.
+        slot: SlotId,
+    },
+    /// The single object was purged / marked unavailable (object-level
+    /// callbacks: OS and PS-OO).
+    ObjectPurged {
+        /// The purged object.
+        slot: SlotId,
+    },
+    /// The client no longer caches the item (it was evicted silently).
+    NotCached {
+        /// Epoch of the most recent copy the client remembers having had,
+        /// or 0 if unknown.
+        epoch: CopyEpoch,
+    },
+    /// The item is locked by an active local transaction; a final reply
+    /// will follow when that transaction finishes. Carries the conflicting
+    /// transactions so the server can detect distributed deadlocks.
+    Busy {
+        /// Local transactions whose locks block the callback.
+        conflicts: Vec<TxnId>,
+    },
+}
+
+impl CallbackReply {
+    /// Whether this reply completes the callback (as opposed to `Busy`,
+    /// which promises a later final reply).
+    pub fn is_final(&self) -> bool {
+        !matches!(self, CallbackReply::Busy { .. })
+    }
+}
+
+/// What a callback asks the receiving client to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallbackTarget {
+    /// PS: purge the whole page (reply `Busy` if any local lock conflicts).
+    Page,
+    /// PS-OA / PS-AA: purge the page if no object on it is in use by the
+    /// active transaction; otherwise mark `slot` unavailable (replying
+    /// `Busy` first if `slot` itself is locked locally).
+    PageAdaptive {
+        /// The object the remote writer wants.
+        slot: SlotId,
+    },
+    /// OS / PS-OO: purge (OS) or mark unavailable (PS-OO) this one object.
+    Object {
+        /// The object the remote writer wants.
+        slot: SlotId,
+    },
+}
+
+/// Data shipped with a grant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataGrant {
+    /// A whole page, with any write-locked objects marked unavailable.
+    Page {
+        /// The shipped page.
+        page: PageId,
+        /// Slots the client must treat as not cached (they are write-locked
+        /// by other transactions).
+        unavailable: Vec<SlotId>,
+        /// The copy epoch of this shipment.
+        epoch: CopyEpoch,
+    },
+    /// A single object (object server).
+    Object {
+        /// The shipped object.
+        oid: Oid,
+    },
+    /// No data: the client already holds a usable copy.
+    None,
+}
+
+impl DataGrant {
+    /// Number of pages of payload this grant carries (for message sizing).
+    pub fn page_payload(&self) -> usize {
+        matches!(self, DataGrant::Page { .. }) as usize
+    }
+}
+
+/// The level of a granted write lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantLevel {
+    /// The whole containing page is write-locked (PS always; PS-AA when all
+    /// remote copies were successfully invalidated).
+    Page,
+    /// Only the requested object is write-locked.
+    Object,
+}
+
+/// A message from the server to a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerMsg {
+    /// Grants a pending read: ships data and implicit read permission.
+    ReadGranted {
+        /// The transaction whose read was pending.
+        txn: TxnId,
+        /// The object it asked for.
+        oid: Oid,
+        /// The shipped data.
+        data: DataGrant,
+    },
+    /// Grants a pending write lock, optionally shipping data.
+    WriteGranted {
+        /// The transaction whose write was pending.
+        txn: TxnId,
+        /// The object it asked to write.
+        oid: Oid,
+        /// Page- or object-level grant.
+        level: GrantLevel,
+        /// Fresh copy, if the request asked for one.
+        data: DataGrant,
+    },
+    /// Asks the client to relinquish a cached item.
+    Callback {
+        /// Id to quote in the reply.
+        callback: CallbackId,
+        /// The page concerned.
+        page: PageId,
+        /// What to do.
+        target: CallbackTarget,
+    },
+    /// PS-AA: asks the client whose transaction holds `page`'s write lock
+    /// to de-escalate it into object write locks.
+    Deescalate {
+        /// The page whose lock must be de-escalated.
+        page: PageId,
+        /// The transaction holding the lock (echoed in the reply so the
+        /// server can discard stale replies).
+        txn: TxnId,
+    },
+    /// The transaction was chosen as a deadlock victim and is aborted
+    /// server-side; the client must discard its local state and may
+    /// resubmit.
+    Aborted {
+        /// The victim.
+        txn: TxnId,
+        /// Why the server killed it.
+        reason: AbortReason,
+    },
+    /// Commit completed (updates durable, locks released).
+    CommitDone {
+        /// The committed transaction.
+        txn: TxnId,
+    },
+    /// Client-requested abort completed.
+    AbortDone {
+        /// The aborted transaction.
+        txn: TxnId,
+    },
+}
+
+/// Why the server aborted a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Chosen as the victim of a deadlock cycle.
+    Deadlock,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_is_not_final() {
+        assert!(!CallbackReply::Busy { conflicts: vec![] }.is_final());
+        assert!(CallbackReply::PagePurged { epoch: 1 }.is_final());
+        assert!(CallbackReply::NotCached { epoch: 0 }.is_final());
+        assert!(CallbackReply::ObjectPurged { slot: 3 }.is_final());
+        assert!(CallbackReply::ObjectUnavailable { slot: 3 }.is_final());
+    }
+
+    #[test]
+    fn data_grant_payload() {
+        let g = DataGrant::Page {
+            page: PageId(1),
+            unavailable: vec![],
+            epoch: 1,
+        };
+        assert_eq!(g.page_payload(), 1);
+        assert_eq!(DataGrant::None.page_payload(), 0);
+        assert_eq!(
+            DataGrant::Object {
+                oid: Oid::new(PageId(1), 0)
+            }
+            .page_payload(),
+            0
+        );
+    }
+}

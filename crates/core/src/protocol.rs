@@ -1,0 +1,176 @@
+//! The five granularity schemes studied in the paper.
+
+use std::fmt;
+
+/// Which of the paper's five granularity approaches a system runs.
+///
+/// All five extend Callback-Read locking with intertransaction caching; they
+/// differ in the granularity used for data transfer, concurrency control
+/// (locking) and replica management (callbacks):
+///
+/// | Variant | Transfer | Locking | Callbacks |
+/// |---------|----------|---------|-----------|
+/// | [`Ps`](Protocol::Ps)     | page   | page     | page |
+/// | [`Os`](Protocol::Os)     | object | object   | object |
+/// | [`PsOo`](Protocol::PsOo) | page   | object   | object |
+/// | [`PsOa`](Protocol::PsOa) | page   | object   | adaptive |
+/// | [`PsAa`](Protocol::PsAa) | page   | adaptive | adaptive |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Basic page server: everything at page granularity (§3.2.1).
+    Ps,
+    /// Basic object server: everything at object granularity (§3.2.2).
+    Os,
+    /// Page transfer with static object locking and object callbacks
+    /// (§3.3.1).
+    PsOo,
+    /// Page transfer with object locking and adaptive (de-escalating)
+    /// callbacks (§3.3.2).
+    PsOa,
+    /// Page transfer with adaptive locking *and* adaptive callbacks
+    /// (§3.3.3) — the paper's winner.
+    PsAa,
+    /// **Extension** (the paper's §6.1 alternative, flagged as future
+    /// work): object locking as in PS-OO, but concurrent page updates are
+    /// prevented with a per-page *write token* instead of being merged.
+    /// The token transfers to a new updater only when the current owner
+    /// has no uncommitted updates on the page, and the transfer ships the
+    /// page ("the entire page must often be sent when the write token is
+    /// transferred"), trading merge CPU for page-bounce messages.
+    PsWt,
+}
+
+impl Protocol {
+    /// The paper's five protocols, in its presentation order.
+    pub const ALL: [Protocol; 5] = [
+        Protocol::Ps,
+        Protocol::Os,
+        Protocol::PsOo,
+        Protocol::PsOa,
+        Protocol::PsAa,
+    ];
+
+    /// The five paper protocols plus the PS-WT write-token extension.
+    pub const EXTENDED: [Protocol; 6] = [
+        Protocol::Ps,
+        Protocol::Os,
+        Protocol::PsOo,
+        Protocol::PsOa,
+        Protocol::PsAa,
+        Protocol::PsWt,
+    ];
+
+    /// Whether clients and servers exchange whole pages (`true`) or
+    /// individual objects (`false`).
+    pub fn transfers_pages(self) -> bool {
+        !matches!(self, Protocol::Os)
+    }
+
+    /// Whether concurrent page updates are prevented with a per-page
+    /// write token instead of merged (the PS-WT extension).
+    pub fn write_token(self) -> bool {
+        matches!(self, Protocol::PsWt)
+    }
+
+    /// Whether the server tracks cached copies per page (`true`) or per
+    /// object (`false`). PS, PS-OA and PS-AA use page-granularity copy
+    /// tables; OS and PS-OO track individual objects.
+    pub fn page_grain_copies(self) -> bool {
+        matches!(self, Protocol::Ps | Protocol::PsOa | Protocol::PsAa)
+    }
+
+    /// Whether write locks are requested per object. PS locks whole pages;
+    /// PS-AA starts at page granularity and de-escalates.
+    pub fn object_locking(self) -> bool {
+        matches!(
+            self,
+            Protocol::Os | Protocol::PsOo | Protocol::PsOa | Protocol::PsWt
+        )
+    }
+
+    /// Whether callbacks are sent per page with adaptive client-side
+    /// handling (purge if unused, else mark the one object unavailable).
+    pub fn adaptive_callbacks(self) -> bool {
+        matches!(self, Protocol::PsOa | Protocol::PsAa)
+    }
+
+    /// Whether the protocol de-escalates page write locks to object write
+    /// locks under contention (PS-AA only).
+    pub fn deescalates(self) -> bool {
+        matches!(self, Protocol::PsAa)
+    }
+
+    /// The short name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Ps => "PS",
+            Protocol::Os => "OS",
+            Protocol::PsOo => "PS-OO",
+            Protocol::PsOa => "PS-OA",
+            Protocol::PsAa => "PS-AA",
+            Protocol::PsWt => "PS-WT",
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Protocol {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "PS" => Ok(Protocol::Ps),
+            "OS" => Ok(Protocol::Os),
+            "PS-OO" | "PSOO" => Ok(Protocol::PsOo),
+            "PS-OA" | "PSOA" => Ok(Protocol::PsOa),
+            "PS-AA" | "PSAA" => Ok(Protocol::PsAa),
+            "PS-WT" | "PSWT" => Ok(Protocol::PsWt),
+            other => Err(format!("unknown protocol: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_table_matches_paper() {
+        use Protocol::*;
+        assert!(Ps.transfers_pages() && !Os.transfers_pages());
+        assert!(Ps.page_grain_copies() && !PsOo.page_grain_copies());
+        assert!(PsOa.page_grain_copies() && PsAa.page_grain_copies());
+        assert!(!Os.page_grain_copies());
+        assert!(Os.object_locking() && PsOo.object_locking() && PsOa.object_locking());
+        assert!(!Ps.object_locking() && !PsAa.object_locking());
+        assert!(PsOa.adaptive_callbacks() && PsAa.adaptive_callbacks());
+        assert!(!PsOo.adaptive_callbacks());
+        assert!(PsAa.deescalates());
+        assert!(!PsOa.deescalates());
+    }
+
+    #[test]
+    fn extension_traits() {
+        use Protocol::*;
+        assert!(PsWt.transfers_pages());
+        assert!(!PsWt.page_grain_copies(), "object-grain copy table");
+        assert!(PsWt.object_locking());
+        assert!(!PsWt.adaptive_callbacks() && !PsWt.deescalates());
+        assert!(PsWt.write_token());
+        assert!(Protocol::ALL.iter().all(|p| !p.write_token()));
+        assert_eq!(Protocol::EXTENDED.len(), 6);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for p in Protocol::EXTENDED {
+            assert_eq!(p.name().parse::<Protocol>().unwrap(), p);
+        }
+        assert!("bogus".parse::<Protocol>().is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Server-side bookkeeping structures: per-page lock/copy state, per-
+//! transaction state, and in-flight callback operations.
+
+use crate::ids::{ClientId, Item, Oid, PageId, SlotId, TxnId};
+use crate::msg::{CallbackId, CopyEpoch};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A queued (blocked) request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Waiter {
+    pub client: ClientId,
+    pub txn: TxnId,
+    pub kind: WaitKind,
+}
+
+/// What a queued request wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitKind {
+    Read { oid: Oid },
+    Write { oid: Oid, need_copy: bool },
+}
+
+impl Waiter {
+    /// The granule this waiter asks for, used for queue-fairness conflict
+    /// checks. Reads and writes under page protocols target the whole page;
+    /// everything else targets the object (a PS-AA write *may* end up as a
+    /// page lock, but while queued it is treated as an object request so it
+    /// does not needlessly delay readers of sibling objects).
+    pub fn item(&self, page_grain_requests: bool) -> Item {
+        let oid = match self.kind {
+            WaitKind::Read { oid } | WaitKind::Write { oid, .. } => oid,
+        };
+        if page_grain_requests {
+            Item::Page(oid.page)
+        } else {
+            Item::Object(oid)
+        }
+    }
+
+    pub fn oid(&self) -> Oid {
+        match self.kind {
+            WaitKind::Read { oid } | WaitKind::Write { oid, .. } => oid,
+        }
+    }
+
+    pub fn is_write(&self) -> bool {
+        matches!(self.kind, WaitKind::Write { .. })
+    }
+}
+
+/// A provisional lock held by a write request in its callback phase; it
+/// conflicts like a granted write lock so that no new copies of the item
+/// leak out mid-invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Provisional {
+    pub callback: CallbackId,
+    pub item: Item,
+    pub txn: TxnId,
+}
+
+/// Per-page server state.
+#[derive(Debug, Default)]
+pub(crate) struct PageState {
+    /// Clients holding a cached copy (page-granularity protocols:
+    /// PS, PS-OA, PS-AA).
+    pub copies: BTreeSet<ClientId>,
+    /// Clients holding each object (object-granularity protocols:
+    /// OS, PS-OO).
+    pub obj_copies: BTreeMap<SlotId, BTreeSet<ClientId>>,
+    /// Copy epoch per client; bumped on every shipment of this page to that
+    /// client, quoted back by callback replies (see [`CopyEpoch`]).
+    pub epochs: BTreeMap<ClientId, CopyEpoch>,
+    /// Holder of the page write lock, if any (PS and PS-AA).
+    pub page_writer: Option<TxnId>,
+    /// Holders of object write locks, by slot.
+    pub obj_writers: BTreeMap<SlotId, TxnId>,
+    /// Blocked requests, FIFO.
+    pub waiters: VecDeque<Waiter>,
+    /// Write requests in their callback phase.
+    pub provisional: Vec<Provisional>,
+    /// PS-AA: the transaction currently being asked to de-escalate its page
+    /// write lock.
+    pub deescalating: Option<TxnId>,
+    /// PS-WT: the client currently owning the page's write token. Updates
+    /// to any object on the page require the token; it transfers (shipping
+    /// the page) once the owner has no uncommitted updates here.
+    pub token: Option<ClientId>,
+}
+
+impl PageState {
+    /// Whether this page retains any server state worth keeping.
+    pub fn is_quiescent(&self) -> bool {
+        self.token.is_none()
+            && self.copies.is_empty()
+            && self.obj_copies.values().all(|s| s.is_empty())
+            && self.page_writer.is_none()
+            && self.obj_writers.is_empty()
+            && self.waiters.is_empty()
+            && self.provisional.is_empty()
+            && self.deescalating.is_none()
+    }
+
+    /// Slots write-locked (or provisionally locked) by transactions other
+    /// than `txn` — the "unavailable" marks shipped with a page.
+    pub fn unavailable_for(&self, txn: TxnId) -> Vec<SlotId> {
+        let mut out: Vec<SlotId> = self
+            .obj_writers
+            .iter()
+            .filter(|&(_, &holder)| holder != txn)
+            .map(|(&slot, _)| slot)
+            .collect();
+        for p in &self.provisional {
+            if p.txn != txn {
+                if let Item::Object(oid) = p.item {
+                    out.push(oid.slot);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Bumps and returns the copy epoch for a shipment to `client`.
+    pub fn bump_epoch(&mut self, client: ClientId) -> CopyEpoch {
+        let e = self.epochs.entry(client).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// The current epoch for `client` (0 if never shipped).
+    pub fn epoch(&self, client: ClientId) -> CopyEpoch {
+        self.epochs.get(&client).copied().unwrap_or(0)
+    }
+}
+
+/// Per-transaction server state.
+#[derive(Debug)]
+pub(crate) struct STxn {
+    pub client: ClientId,
+    /// Age sequence: lower = older. Deadlock victims are the youngest.
+    pub age: u64,
+    /// Pages on which this transaction holds a page write lock.
+    pub page_locks: BTreeSet<PageId>,
+    /// Objects on which this transaction holds an object write lock.
+    pub obj_locks: BTreeSet<Oid>,
+    /// The page whose waiter queue holds this transaction's blocked
+    /// request, if any.
+    pub waiting_on: Option<PageId>,
+    /// The callback operation this transaction's write request is driving,
+    /// if any.
+    pub pending_op: Option<CallbackId>,
+}
+
+impl STxn {
+    pub fn new(client: ClientId, age: u64) -> Self {
+        STxn {
+            client,
+            age,
+            page_locks: BTreeSet::new(),
+            obj_locks: BTreeSet::new(),
+            waiting_on: None,
+            pending_op: None,
+        }
+    }
+}
+
+/// An in-flight write request waiting for callback acknowledgements.
+#[derive(Debug)]
+pub(crate) struct CbOp {
+    pub requester: ClientId,
+    pub txn: TxnId,
+    pub oid: Oid,
+    pub need_copy: bool,
+    /// Clients whose (final) acknowledgement is still outstanding.
+    pub outstanding: BTreeSet<ClientId>,
+    /// Copy epoch per recipient at the moment the op started; used to
+    /// validate `NotCached` deregistrations.
+    pub snapshot_epochs: BTreeMap<ClientId, CopyEpoch>,
+    /// Whether any recipient kept the page (forces an object-level grant
+    /// under PS-AA).
+    pub any_kept: bool,
+}
+
+/// Counters the server engine maintains; the simulator converts some of
+/// them into CPU charges and the experiment harness reports them.
+#[derive(Debug, Default, Clone)]
+pub struct ServerStats {
+    /// Callback request messages sent.
+    pub callbacks_sent: u64,
+    /// `Busy` replies received (callbacks deferred by remote read locks).
+    pub busy_replies: u64,
+    /// De-escalation requests issued (PS-AA).
+    pub deescalations: u64,
+    /// Deadlocks detected (= victims aborted).
+    pub deadlocks: u64,
+    /// Write requests granted at page level.
+    pub page_grants: u64,
+    /// Write requests granted at object level.
+    pub obj_grants: u64,
+    /// Requests that had to block.
+    pub blocks: u64,
+    /// Pages shipped to clients.
+    pub pages_shipped: u64,
+    /// Single objects shipped to clients (OS).
+    pub objects_shipped: u64,
+    /// PS-WT: write-token transfers between owners (each ships a page).
+    pub token_transfers: u64,
+}
+
+pub use crate::cost::Cost;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(c: u16) -> TxnId {
+        TxnId::new(ClientId(c), 1)
+    }
+
+    #[test]
+    fn unavailable_marks_exclude_own_locks() {
+        let mut ps = PageState::default();
+        ps.obj_writers.insert(3, txn(1));
+        ps.obj_writers.insert(5, txn(2));
+        ps.provisional.push(Provisional {
+            callback: CallbackId(1),
+            item: Item::Object(Oid::new(PageId(1), 7)),
+            txn: txn(3),
+        });
+        assert_eq!(ps.unavailable_for(txn(1)), vec![5, 7]);
+        assert_eq!(ps.unavailable_for(txn(9)), vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn epochs_bump_per_client() {
+        let mut ps = PageState::default();
+        assert_eq!(ps.epoch(ClientId(1)), 0);
+        assert_eq!(ps.bump_epoch(ClientId(1)), 1);
+        assert_eq!(ps.bump_epoch(ClientId(1)), 2);
+        assert_eq!(ps.bump_epoch(ClientId(2)), 1);
+        assert_eq!(ps.epoch(ClientId(1)), 2);
+    }
+
+    #[test]
+    fn quiescence() {
+        let mut ps = PageState::default();
+        assert!(ps.is_quiescent());
+        ps.copies.insert(ClientId(1));
+        assert!(!ps.is_quiescent());
+        ps.copies.clear();
+        ps.page_writer = Some(txn(1));
+        assert!(!ps.is_quiescent());
+    }
+
+    #[test]
+    fn waiter_item_granularity() {
+        let w = Waiter {
+            client: ClientId(1),
+            txn: txn(1),
+            kind: WaitKind::Read {
+                oid: Oid::new(PageId(4), 2),
+            },
+        };
+        assert_eq!(w.item(true), Item::Page(PageId(4)));
+        assert_eq!(w.item(false), Item::Object(Oid::new(PageId(4), 2)));
+    }
+}

@@ -1,0 +1,210 @@
+//! Shared test harness: an in-memory FIFO "world" wiring one server
+//! engine to several client engines, driven to quiescence.
+#![allow(dead_code)]
+
+use fgs_core::client::{ClientAction, ClientEngine, TxnOutcome};
+use fgs_core::server::{ServerAction, ServerEngine};
+use fgs_core::{ClientId, Oid, PageId, Protocol, Request, ServerMsg, TxnId};
+use std::collections::VecDeque;
+
+pub const OPP: u16 = 8; // objects per page in these tests
+
+pub fn oid(page: u32, slot: u16) -> Oid {
+    Oid::new(PageId(page), slot)
+}
+
+pub enum Envelope {
+    ToServer(ClientId, Request),
+    ToClient(ClientId, ServerMsg),
+}
+
+/// What happened at a client, in order.
+#[derive(Debug, PartialEq, Eq, Clone)]
+pub enum Event {
+    Ready { oid: Oid, write: bool, hit: bool },
+    Ended { txn: TxnId, outcome: TxnOutcome },
+}
+
+pub struct World {
+    pub server: ServerEngine,
+    pub clients: Vec<ClientEngine>,
+    pub net: VecDeque<Envelope>,
+    pub events: Vec<Vec<Event>>,
+    pub seqs: Vec<u64>,
+    pub msgs_to_server: u64,
+    pub msgs_to_clients: u64,
+}
+
+impl World {
+    pub fn new(protocol: Protocol, n_clients: u16, cache_pages: usize) -> Self {
+        World {
+            server: ServerEngine::new(protocol, OPP),
+            clients: (0..n_clients)
+                .map(|i| ClientEngine::new(ClientId(i), protocol, OPP, cache_pages))
+                .collect(),
+            net: VecDeque::new(),
+            events: vec![Vec::new(); n_clients as usize],
+            seqs: vec![0; n_clients as usize],
+            msgs_to_server: 0,
+            msgs_to_clients: 0,
+        }
+    }
+
+    pub fn begin(&mut self, c: u16) -> TxnId {
+        self.seqs[c as usize] += 1;
+        let txn = TxnId::new(ClientId(c), self.seqs[c as usize]);
+        self.clients[c as usize].begin(txn);
+        txn
+    }
+
+    pub fn client_actions(&mut self, c: u16, actions: Vec<ClientAction>) {
+        for a in actions {
+            match a {
+                ClientAction::Send(req) => {
+                    self.msgs_to_server += 1;
+                    self.net.push_back(Envelope::ToServer(ClientId(c), req));
+                }
+                ClientAction::AccessReady {
+                    oid,
+                    write,
+                    from_cache,
+                    ..
+                } => self.events[c as usize].push(Event::Ready {
+                    oid,
+                    write,
+                    hit: from_cache,
+                }),
+                ClientAction::TxnEnded { txn, outcome } => {
+                    self.events[c as usize].push(Event::Ended { txn, outcome })
+                }
+                ClientAction::DroppedPage { .. } | ClientAction::DroppedObject { .. } => {}
+            }
+        }
+    }
+
+    pub fn access(&mut self, c: u16, o: Oid, write: bool) {
+        let out = self.clients[c as usize].access(o, write);
+        self.client_actions(c, out.actions);
+        self.run();
+    }
+
+    pub fn commit(&mut self, c: u16) {
+        let out = self.clients[c as usize].commit();
+        self.client_actions(c, out.actions);
+        self.run();
+    }
+
+    /// Delivers messages until the network is quiescent.
+    pub fn run(&mut self) {
+        while let Some(env) = self.net.pop_front() {
+            match env {
+                Envelope::ToServer(from, req) => {
+                    let out = self.server.handle(from, req);
+                    for a in out.actions {
+                        let ServerAction::Send { to, msg } = a;
+                        self.msgs_to_clients += 1;
+                        self.net.push_back(Envelope::ToClient(to, msg));
+                    }
+                }
+                Envelope::ToClient(to, msg) => {
+                    let out = self.clients[to.0 as usize].handle_server(msg);
+                    self.client_actions(to.0, out.actions);
+                }
+            }
+            self.server.check_invariants();
+        }
+    }
+
+    pub fn take_events(&mut self, c: u16) -> Vec<Event> {
+        std::mem::take(&mut self.events[c as usize])
+    }
+
+    pub fn last_event(&self, c: u16) -> Option<&Event> {
+        self.events[c as usize].last()
+    }
+
+    pub fn ready_count(&self, c: u16) -> usize {
+        self.events[c as usize]
+            .iter()
+            .filter(|e| matches!(e, Event::Ready { .. }))
+            .count()
+    }
+
+    pub fn ended(&self, c: u16) -> Option<TxnOutcome> {
+        self.events[c as usize].iter().rev().find_map(|e| match e {
+            Event::Ended { outcome, .. } => Some(*outcome),
+            _ => None,
+        })
+    }
+
+    /// Runs a trivial one-object read-write transaction to completion.
+    pub fn quick_write(&mut self, c: u16, o: Oid) {
+        self.begin(c);
+        self.access(c, o, true);
+        assert_eq!(self.ready_count(c), 1, "write access should complete");
+        self.commit(c);
+        assert_eq!(self.ended(c), Some(TxnOutcome::Committed));
+        self.take_events(c);
+    }
+}
+
+impl World {
+    /// Checks the cache-coherence invariant of Callback Locking: an object
+    /// that some client can read from its cache is never write-locked (at
+    /// object or covering-page granularity) by another client's
+    /// transaction. Valid copies are what make local read locks safe.
+    pub fn check_coherence(&self) {
+        for (ci, cl) in self.clients.iter().enumerate() {
+            let own = cl.active_txn();
+            for page in cl.cached_pages() {
+                let mask = cl.cached_avail_mask(page).expect("cached page has a mask");
+                if mask != 0 {
+                    if let Some(h) = self.server.page_writer(page) {
+                        assert_eq!(
+                            Some(h),
+                            own,
+                            "client {ci} holds readable objects on {page} while {h} \
+                             holds the page write lock"
+                        );
+                    }
+                }
+                for slot in 0..OPP {
+                    if mask & (1u64 << slot) != 0 {
+                        let o = Oid::new(page, slot);
+                        if let Some(h) = self.server.object_writer(o) {
+                            assert_eq!(
+                                Some(h),
+                                own,
+                                "client {ci} can read {o} while {h} write-locks it"
+                            );
+                        }
+                    }
+                }
+            }
+            for o in cl.cached_objects() {
+                if let Some(h) = self.server.object_writer(o) {
+                    assert_eq!(
+                        Some(h),
+                        own,
+                        "client {ci} caches {o} while {h} write-locks it"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whether client `c` has an access awaiting a server grant.
+    pub fn is_blocked(&self, c: u16) -> bool {
+        self.clients[c as usize].has_pending_access()
+    }
+
+    /// Whether client `c` has an active transaction (possibly finishing).
+    pub fn has_txn(&self, c: u16) -> bool {
+        self.clients[c as usize].has_active_txn()
+    }
+
+    /// Total events observed so far (progress measure).
+    pub fn total_events(&self) -> usize {
+        self.events.iter().map(|e| e.len()).sum()
+    }
+}

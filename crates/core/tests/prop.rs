@@ -1,0 +1,140 @@
+//! Property-based tests: random multi-client workloads on a tiny, highly
+//! contended database, across all five protocols. After every quiescent
+//! point the cache-coherence invariant of Callback Locking must hold, the
+//! server's internal invariants must hold, and the system must always make
+//! progress (every transaction eventually commits or is chosen as a
+//! deadlock victim — never silently stuck).
+
+mod common;
+
+use common::{oid, World, OPP};
+use fgs_core::Protocol;
+use proptest::prelude::*;
+
+/// One scripted step: which client acts, what it touches, and whether the
+/// access is a write. Client/page/slot indices are reduced modulo the
+/// configured counts.
+#[derive(Debug, Clone)]
+struct Step {
+    client: u16,
+    page: u32,
+    slot: u16,
+    write: bool,
+    commit_after: bool,
+}
+
+fn step_strategy(n_clients: u16, n_pages: u32) -> impl Strategy<Value = Step> {
+    (
+        0..n_clients,
+        0..n_pages,
+        0..OPP,
+        prop::bool::weighted(0.35),
+        prop::bool::weighted(0.25),
+    )
+        .prop_map(|(client, page, slot, write, commit_after)| Step {
+            client,
+            page,
+            slot,
+            write,
+            commit_after,
+        })
+}
+
+/// Runs a script against one protocol, checking invariants throughout, and
+/// finally drains the system to quiescence.
+fn run_script(protocol: Protocol, n_clients: u16, cache_pages: usize, steps: &[Step]) {
+    let mut w = World::new(protocol, n_clients, cache_pages);
+    for s in steps {
+        let c = s.client;
+        if w.is_blocked(c) {
+            continue; // this client's application is stuck on a grant
+        }
+        if !w.has_txn(c) {
+            w.begin(c);
+        }
+        w.access(c, oid(s.page, s.slot), s.write);
+        if s.commit_after && !w.is_blocked(c) && w.has_txn(c) {
+            w.commit(c);
+        }
+        w.check_coherence();
+    }
+    // Drain: commit everything that can commit; blocked clients are
+    // unblocked by others' commits or by deadlock aborts. If a full sweep
+    // makes no progress the system is stuck — a protocol bug.
+    let mut sweeps_without_progress = 0;
+    while (0..n_clients).any(|c| w.has_txn(c)) {
+        let before = (w.total_events(), w.msgs_to_server, w.msgs_to_clients);
+        for c in 0..n_clients {
+            if w.has_txn(c) && !w.is_blocked(c) {
+                w.commit(c);
+            }
+        }
+        w.check_coherence();
+        let after = (w.total_events(), w.msgs_to_server, w.msgs_to_clients);
+        if before == after {
+            sweeps_without_progress += 1;
+            assert!(
+                sweeps_without_progress < 3,
+                "{protocol}: system stuck with live transactions \
+                 (blocked: {:?})",
+                (0..n_clients)
+                    .filter(|&c| w.is_blocked(c))
+                    .collect::<Vec<_>>()
+            );
+        } else {
+            sweeps_without_progress = 0;
+        }
+    }
+    assert_eq!(w.server.live_txns(), 0, "{protocol}: leaked transactions");
+    assert_eq!(w.server.blocked_requests(), 0, "{protocol}: leaked waiters");
+    assert_eq!(
+        w.server.callbacks_in_flight(),
+        0,
+        "{protocol}: leaked callback ops"
+    );
+    w.check_coherence();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// High contention: few pages, several clients, writes common.
+    #[test]
+    fn random_workloads_stay_coherent(
+        steps in prop::collection::vec(step_strategy(4, 3), 1..80),
+    ) {
+        for protocol in Protocol::EXTENDED {
+            run_script(protocol, 4, 8, &steps);
+        }
+    }
+
+    /// Tiny caches force evictions and NotCached callback replies.
+    #[test]
+    fn random_workloads_with_thrashing_caches(
+        steps in prop::collection::vec(step_strategy(3, 8), 1..60),
+    ) {
+        for protocol in Protocol::EXTENDED {
+            run_script(protocol, 3, 2, &steps);
+        }
+    }
+
+    /// Write-heavy single-page pile-up: maximal lock/callback interleaving.
+    #[test]
+    fn single_page_write_storm(
+        steps in prop::collection::vec(
+            (0u16..4, 0..OPP, prop::bool::weighted(0.7), prop::bool::weighted(0.3))
+                .prop_map(|(client, slot, write, commit_after)| Step {
+                    client,
+                    page: 0,
+                    slot,
+                    write,
+                    commit_after,
+                }),
+            1..60,
+        ),
+    ) {
+        for protocol in Protocol::EXTENDED {
+            run_script(protocol, 4, 4, &steps);
+        }
+    }
+}

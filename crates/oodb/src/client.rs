@@ -1,0 +1,398 @@
+//! The per-client runtime thread: drives the client protocol engine,
+//! manages the byte-level cache (parsed page images plus an overlay for
+//! oversize/forwarded objects), and services the application's session.
+
+use crate::config::EngineConfig;
+use crate::error::TxnError;
+use crate::wire::{AppCmd, ToClient, ToServer};
+use crossbeam::channel::{Receiver, Sender};
+use fgs_core::client::{ClientAction, ClientEngine, TxnOutcome};
+use fgs_core::{ClientId, DataGrant, Oid, PageId, Protocol, Request, ServerMsg, SlotId, TxnId};
+use fgs_pagestore::{Record, SlottedPage};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug)]
+enum PendingApp {
+    Read {
+        oid: Oid,
+        reply: Sender<Result<Vec<u8>, TxnError>>,
+    },
+    Write {
+        oid: Oid,
+        bytes: Vec<u8>,
+        reply: Sender<Result<(), TxnError>>,
+    },
+    Commit {
+        reply: Sender<Result<(), TxnError>>,
+    },
+    Abort {
+        reply: Sender<Result<(), TxnError>>,
+    },
+}
+
+pub(crate) struct ClientRuntime {
+    id: ClientId,
+    protocol: Protocol,
+    objects_per_page: u16,
+    max_object_bytes: usize,
+    engine: ClientEngine,
+    /// Parsed page images (page-transfer protocols).
+    pages: HashMap<PageId, SlottedPage>,
+    /// Object bytes that do not live in a page image: oversize local
+    /// updates and forwarded objects resolved by the server.
+    overlay: HashMap<Oid, Vec<u8>>,
+    /// Object bytes for the object server.
+    objects: HashMap<Oid, Vec<u8>>,
+    /// Slots updated by the active transaction (byte-merge bookkeeping).
+    dirty: HashMap<PageId, HashSet<SlotId>>,
+    txn_seq: u64,
+    pending: Option<PendingApp>,
+    /// The active transaction was killed as a deadlock victim while the
+    /// application was between calls; surface it on the next call.
+    txn_dead: bool,
+    server_tx: Sender<ToServer>,
+}
+
+impl ClientRuntime {
+    pub(crate) fn new(id: ClientId, config: &EngineConfig, server_tx: Sender<ToServer>) -> Self {
+        ClientRuntime {
+            id,
+            protocol: config.protocol,
+            objects_per_page: config.objects_per_page,
+            max_object_bytes: config.page_size - 16,
+            engine: ClientEngine::new(
+                id,
+                config.protocol,
+                config.objects_per_page,
+                config.client_cache_pages,
+            ),
+            pages: HashMap::new(),
+            overlay: HashMap::new(),
+            objects: HashMap::new(),
+            dirty: HashMap::new(),
+            txn_seq: 0,
+            pending: None,
+            txn_dead: false,
+            server_tx,
+        }
+    }
+
+    /// The runtime's main loop; returns when told to shut down or when the
+    /// engine is torn down.
+    pub(crate) fn run(mut self, app_rx: Receiver<AppCmd>, server_rx: Receiver<ToClient>) {
+        loop {
+            crossbeam::channel::select! {
+                recv(app_rx) -> cmd => match cmd {
+                    Ok(cmd) => {
+                        if !self.handle_app(cmd) {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                },
+                recv(server_rx) -> env => match env {
+                    Ok(env) => self.handle_server(env),
+                    Err(_) => return,
+                },
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Application commands
+    // ------------------------------------------------------------------
+
+    fn handle_app(&mut self, cmd: AppCmd) -> bool {
+        debug_assert!(self.pending.is_none(), "one app call at a time");
+        match cmd {
+            AppCmd::Begin { reply } => {
+                let res = if self.engine.has_active_txn() {
+                    Err(TxnError::TxnState("a transaction is already active"))
+                } else {
+                    self.txn_seq += 1;
+                    self.txn_dead = false;
+                    self.engine.begin(TxnId::new(self.id, self.txn_seq));
+                    Ok(())
+                };
+                let _ = reply.send(res);
+            }
+            AppCmd::Read { oid, reply } => {
+                if let Err(e) = self.txn_guard(oid.slot) {
+                    let _ = reply.send(Err(e));
+                    return true;
+                }
+                self.pending = Some(PendingApp::Read { oid, reply });
+                let outcome = self.engine.access(oid, false);
+                self.handle_actions(outcome.actions);
+            }
+            AppCmd::Write { oid, bytes, reply } => {
+                if let Err(e) = self.txn_guard(oid.slot) {
+                    let _ = reply.send(Err(e));
+                    return true;
+                }
+                if bytes.len() > self.max_object_bytes {
+                    let _ = reply.send(Err(TxnError::ObjectTooLarge));
+                    return true;
+                }
+                self.pending = Some(PendingApp::Write { oid, bytes, reply });
+                let outcome = self.engine.access(oid, true);
+                self.handle_actions(outcome.actions);
+            }
+            AppCmd::Commit { reply } => {
+                if let Err(e) = self.txn_guard(0) {
+                    let _ = reply.send(Err(e));
+                    return true;
+                }
+                self.pending = Some(PendingApp::Commit { reply });
+                let outcome = self.engine.commit();
+                self.handle_actions(outcome.actions);
+            }
+            AppCmd::Abort { reply } => {
+                if let Err(e) = self.txn_guard(0) {
+                    let _ = reply.send(Err(e));
+                    return true;
+                }
+                self.pending = Some(PendingApp::Abort { reply });
+                let outcome = self.engine.abort();
+                self.handle_actions(outcome.actions);
+            }
+            AppCmd::Stats { reply } => {
+                let _ = reply.send(Ok(self.engine.stats().clone()));
+            }
+            AppCmd::Shutdown => return false,
+        }
+        true
+    }
+
+    /// Common per-call validation: deadlock surfacing, slot range, and
+    /// transaction existence.
+    fn txn_guard(&mut self, slot: SlotId) -> Result<(), TxnError> {
+        if self.txn_dead {
+            self.txn_dead = false;
+            return Err(TxnError::Deadlock);
+        }
+        if !self.engine.has_active_txn() {
+            return Err(TxnError::TxnState("no active transaction"));
+        }
+        if slot >= self.objects_per_page {
+            return Err(TxnError::NoSuchObject);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Server messages
+    // ------------------------------------------------------------------
+
+    fn handle_server(&mut self, env: ToClient) {
+        // Byte payloads install before the engine acts on the message, so
+        // an `AccessReady` emitted during handling can read them.
+        let mut stub_scan: Option<PageId> = None;
+        match &env.msg {
+            ServerMsg::ReadGranted { oid, data, .. }
+            | ServerMsg::WriteGranted { oid, data, .. } => match data {
+                DataGrant::Page { page, .. } => {
+                    let image = env.page_image.expect("page grant carries an image");
+                    self.install_page_image(*page, image, *oid, env.object_bytes);
+                    stub_scan = Some(*page);
+                }
+                DataGrant::Object { oid } => {
+                    let bytes = env.object_bytes.expect("object grant carries bytes");
+                    self.objects.insert(*oid, bytes);
+                }
+                DataGrant::None => {}
+            },
+            _ => {}
+        }
+        let outcome = self.engine.handle_server(env.msg);
+        self.handle_actions(outcome.actions);
+        // Mark unresolved forwarding stubs unavailable so future accesses
+        // are protocol-level misses (the server resolves them on demand).
+        if let Some(page) = stub_scan {
+            self.invalidate_unresolved_stubs(page);
+        }
+    }
+
+    /// Installs a fresh page image, preserving the active transaction's
+    /// local updates (the paper's copy-merge).
+    fn install_page_image(
+        &mut self,
+        page: PageId,
+        image: Vec<u8>,
+        requested: Oid,
+        object_bytes: Option<Vec<u8>>,
+    ) {
+        // Capture our uncommitted bytes before the image is replaced.
+        let dirty_slots: Vec<SlotId> = self
+            .dirty
+            .get(&page)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        let saved: Vec<(Oid, Vec<u8>)> = dirty_slots
+            .iter()
+            .map(|&slot| {
+                let oid = Oid::new(page, slot);
+                (oid, self.read_local(oid).expect("dirty object readable"))
+            })
+            .collect();
+        self.pages.insert(page, SlottedPage::from_bytes(image));
+        self.overlay.retain(|o, _| o.page != page);
+        for (oid, bytes) in saved {
+            self.apply_local_write(oid, bytes);
+        }
+        // Resolve the requested object if its home slot holds a stub.
+        if let Some(bytes) = object_bytes {
+            if self.slot_is_stub(requested) {
+                self.overlay.insert(requested, bytes);
+            }
+        }
+    }
+
+    fn slot_is_stub(&self, oid: Oid) -> bool {
+        self.pages
+            .get(&oid.page)
+            .is_some_and(|p| matches!(p.read(oid.slot), Ok(Record::Forward(..))))
+    }
+
+    fn invalidate_unresolved_stubs(&mut self, page: PageId) {
+        for slot in 0..self.objects_per_page {
+            let oid = Oid::new(page, slot);
+            if self.slot_is_stub(oid)
+                && !self.overlay.contains_key(&oid)
+                && !self.dirty.get(&page).is_some_and(|s| s.contains(&slot))
+            {
+                self.engine.invalidate_object(oid);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Engine actions
+    // ------------------------------------------------------------------
+
+    fn handle_actions(&mut self, actions: Vec<ClientAction>) {
+        for a in actions {
+            match a {
+                ClientAction::Send(req) => {
+                    let commit_data = match &req {
+                        Request::Commit { writes, .. } => writes
+                            .iter()
+                            .flat_map(|ws| {
+                                ws.slots.iter().map(|&slot| {
+                                    let oid = Oid::new(ws.page, slot);
+                                    (
+                                        oid,
+                                        self.read_local(oid)
+                                            .expect("dirty object readable at commit"),
+                                    )
+                                })
+                            })
+                            .collect(),
+                        _ => Vec::new(),
+                    };
+                    let _ = self.server_tx.send(ToServer::Req {
+                        from: self.id,
+                        req,
+                        commit_data,
+                    });
+                }
+                ClientAction::AccessReady { oid, write, .. } => self.complete_access(oid, write),
+                ClientAction::TxnEnded { outcome, .. } => self.finish_txn(outcome),
+                ClientAction::DroppedPage { page } => {
+                    self.pages.remove(&page);
+                    self.overlay.retain(|o, _| o.page != page);
+                }
+                ClientAction::DroppedObject { oid } => {
+                    self.objects.remove(&oid);
+                }
+            }
+        }
+    }
+
+    fn complete_access(&mut self, oid: Oid, write: bool) {
+        match self.pending.take() {
+            Some(PendingApp::Read { oid: o, reply }) => {
+                debug_assert_eq!((o, write), (oid, false));
+                let res = self.read_local(oid).ok_or(TxnError::NoSuchObject);
+                let _ = reply.send(res);
+            }
+            Some(PendingApp::Write {
+                oid: o,
+                bytes,
+                reply,
+            }) => {
+                debug_assert_eq!((o, write), (oid, true));
+                self.apply_local_write(oid, bytes);
+                self.dirty.entry(oid.page).or_default().insert(oid.slot);
+                let _ = reply.send(Ok(()));
+            }
+            other => panic!("grant without a matching app call: {other:?}"),
+        }
+    }
+
+    fn finish_txn(&mut self, outcome: TxnOutcome) {
+        self.dirty.clear();
+        match (self.pending.take(), outcome) {
+            (Some(PendingApp::Commit { reply }), TxnOutcome::Committed) => {
+                let _ = reply.send(Ok(()));
+            }
+            (Some(PendingApp::Abort { reply }), TxnOutcome::Aborted) => {
+                let _ = reply.send(Ok(()));
+            }
+            (Some(PendingApp::Commit { reply }), TxnOutcome::Deadlocked) => {
+                let _ = reply.send(Err(TxnError::Deadlock));
+            }
+            (Some(PendingApp::Read { reply, .. }), TxnOutcome::Deadlocked) => {
+                let _ = reply.send(Err(TxnError::Deadlock));
+            }
+            (Some(PendingApp::Write { reply, .. }), TxnOutcome::Deadlocked) => {
+                let _ = reply.send(Err(TxnError::Deadlock));
+            }
+            (None, TxnOutcome::Deadlocked) => self.txn_dead = true,
+            (pending, outcome) => {
+                panic!("inconsistent transaction end: {pending:?} vs {outcome:?}")
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Byte-level cache
+    // ------------------------------------------------------------------
+
+    fn read_local(&self, oid: Oid) -> Option<Vec<u8>> {
+        if self.protocol == Protocol::Os {
+            return self.objects.get(&oid).cloned();
+        }
+        if let Some(bytes) = self.overlay.get(&oid) {
+            return Some(bytes.clone());
+        }
+        match self.pages.get(&oid.page)?.read(oid.slot) {
+            Ok(Record::Data(d)) => Some(d.to_vec()),
+            Ok(Record::Forward(..)) => {
+                unreachable!("unresolved stub {oid} was marked unavailable")
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Applies bytes locally: in the page image if they fit, else in the
+    /// overlay (the server's copy forwards at commit).
+    fn apply_local_write(&mut self, oid: Oid, bytes: Vec<u8>) {
+        if self.protocol == Protocol::Os {
+            self.objects.insert(oid, bytes);
+            return;
+        }
+        let page = self
+            .pages
+            .get_mut(&oid.page)
+            .expect("write permission implies a cached page");
+        match page.put_at(oid.slot, &bytes) {
+            Ok(()) => {
+                self.overlay.remove(&oid);
+            }
+            Err(_) => {
+                self.overlay.insert(oid, bytes);
+            }
+        }
+    }
+}

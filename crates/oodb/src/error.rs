@@ -1,0 +1,58 @@
+//! Engine error types.
+
+use std::fmt;
+
+/// Errors surfaced to the application through [`crate::Session`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// The transaction was chosen as a deadlock victim; retry it.
+    Deadlock,
+    /// The update would overflow its page; the embedded engine caps object
+    /// growth at page capacity (the storage layer's forwarding is not
+    /// exposed through the cache-consistency protocols — see DESIGN.md §7).
+    ObjectTooLarge,
+    /// The object does not exist.
+    NoSuchObject,
+    /// A transaction is required (none is active) or already active.
+    TxnState(&'static str),
+    /// The engine has shut down.
+    Closed,
+    /// Storage-layer failure.
+    Io(String),
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Deadlock => write!(f, "transaction aborted: deadlock victim"),
+            TxnError::ObjectTooLarge => write!(f, "object update exceeds page capacity"),
+            TxnError::NoSuchObject => write!(f, "no such object"),
+            TxnError::TxnState(msg) => write!(f, "transaction state error: {msg}"),
+            TxnError::Closed => write!(f, "engine is shut down"),
+            TxnError::Io(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl From<std::io::Error> for TxnError {
+    fn from(e: std::io::Error) -> Self {
+        TxnError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(TxnError::Deadlock.to_string().contains("deadlock"));
+        assert!(TxnError::ObjectTooLarge
+            .to_string()
+            .contains("page capacity"));
+        let io: TxnError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+}

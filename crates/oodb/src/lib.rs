@@ -1,0 +1,210 @@
+//! # fgs-oodb
+//!
+//! An embedded, multi-threaded **page-server OODBMS** implementing the
+//! five granularity schemes of Carey, Franklin & Zaharioudakis (SIGMOD
+//! 1994). One server thread owns the logged page store and the server
+//! protocol engine; each client workstation is a runtime thread with its
+//! own cache (page images or objects) driven by the client protocol
+//! engine — the *same* `fgs-core` engines the simulator evaluates, so the
+//! measured protocols and the executable system cannot diverge.
+//!
+//! Features:
+//!
+//! * all five protocols: PS, OS, PS-OO, PS-OA, PS-AA (pick via
+//!   [`EngineConfig::protocol`]);
+//! * intertransaction caching with callback-based consistency, adaptive
+//!   de-escalation under PS-AA, and deadlock detection with victim abort
+//!   (surfaced as [`TxnError::Deadlock`] — retry via [`Session::run_txn`]);
+//! * steal/no-force durability: WAL with before/after images, log force at
+//!   commit, crash recovery (see `fgs-pagestore`);
+//! * size-changing updates: objects may grow up to page capacity; overflow
+//!   at the server forwards records transparently.
+//!
+//! ```
+//! use fgs_oodb::{EngineConfig, Oodb};
+//! use fgs_core::{Oid, PageId, Protocol};
+//!
+//! let db = Oodb::open(EngineConfig {
+//!     protocol: Protocol::PsAa,
+//!     ..EngineConfig::default()
+//! }).unwrap();
+//! let alice = db.session(0);
+//! let oid = Oid::new(PageId(3), 4);
+//! alice.run_txn(4, |t| {
+//!     t.write(oid, b"drawing rev 1".to_vec())
+//! }).unwrap();
+//! let bob = db.session(1);
+//! bob.begin().unwrap();
+//! assert_eq!(bob.read(oid).unwrap(), b"drawing rev 1");
+//! bob.commit().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod client;
+mod config;
+mod error;
+mod server;
+mod session;
+mod wire;
+
+pub use config::EngineConfig;
+pub use error::TxnError;
+pub use session::Session;
+
+use crate::client::ClientRuntime;
+use crate::server::{run_server, ServerShared};
+use crate::wire::{AppCmd, ToServer};
+use crossbeam::channel::{unbounded, Sender};
+use fgs_core::server::ServerEngine;
+use fgs_core::{ClientId, ServerStats};
+use fgs_pagestore::{DiskManager, MemDisk, RecoveryReport, Store};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// An embedded page-server database: one server thread plus one runtime
+/// thread per client workstation.
+pub struct Oodb {
+    config: EngineConfig,
+    server_tx: Sender<ToServer>,
+    app_txs: Vec<Sender<AppCmd>>,
+    threads: Vec<JoinHandle<()>>,
+    shared: Arc<Mutex<ServerShared>>,
+}
+
+impl Oodb {
+    /// Opens a fresh in-memory database initialized with
+    /// `db_pages × objects_per_page` zero-filled objects.
+    pub fn open(config: EngineConfig) -> std::io::Result<Oodb> {
+        let disk = Arc::new(MemDisk::new(config.page_size));
+        Self::open_with_disk(config, disk, true)
+    }
+
+    /// Opens a database over an existing disk, optionally (re)initializing
+    /// the object layout. Use `init = false` to attach to a disk image that
+    /// already holds data (e.g. after [`Oodb::recover`]).
+    pub fn open_with_disk(
+        config: EngineConfig,
+        disk: Arc<dyn DiskManager>,
+        init: bool,
+    ) -> std::io::Result<Oodb> {
+        config.validate();
+        let store = Store::new(disk, config.server_pool_pages, config.db_pages);
+        if init {
+            store.init_objects(config.db_pages, config.objects_per_page, config.object_size)?;
+        }
+        Ok(Self::start(config, store))
+    }
+
+    /// Recovers a database from a crashed disk image plus the durable log
+    /// bytes, then starts it.
+    pub fn recover(
+        config: EngineConfig,
+        disk: Arc<dyn DiskManager>,
+        log_bytes: Vec<u8>,
+    ) -> std::io::Result<(Oodb, RecoveryReport)> {
+        config.validate();
+        let (store, report) =
+            Store::recover(disk, log_bytes, config.server_pool_pages, config.db_pages)?;
+        Ok((Self::start(config, store), report))
+    }
+
+    fn start(config: EngineConfig, store: Store) -> Oodb {
+        let engine = ServerEngine::new(config.protocol, config.objects_per_page);
+        let shared = Arc::new(Mutex::new(ServerShared { engine, store }));
+        let (server_tx, server_rx) = unbounded();
+        let mut client_txs = Vec::new();
+        let mut app_txs = Vec::new();
+        let mut threads = Vec::new();
+        let mut client_rxs = Vec::new();
+        for _ in 0..config.n_clients {
+            let (ctx, crx) = unbounded();
+            client_txs.push(ctx);
+            client_rxs.push(crx);
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("fgs-server".into())
+                    .spawn(move || run_server(shared, server_rx, client_txs))
+                    .expect("spawn server"),
+            );
+        }
+        for (i, crx) in client_rxs.into_iter().enumerate() {
+            let (atx, arx) = unbounded();
+            app_txs.push(atx);
+            let runtime = ClientRuntime::new(ClientId(i as u16), &config, server_tx.clone());
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("fgs-client-{i}"))
+                    .spawn(move || runtime.run(arx, crx))
+                    .expect("spawn client"),
+            );
+        }
+        Oodb {
+            config,
+            server_tx,
+            app_txs,
+            threads,
+            shared,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// A session for client `client` (one transaction at a time each).
+    pub fn session(&self, client: u16) -> Session {
+        Session::new(client, self.app_txs[client as usize].clone())
+    }
+
+    /// Server-side protocol counters.
+    pub fn server_stats(&self) -> ServerStats {
+        self.shared.lock().engine.stats().clone()
+    }
+
+    /// Checks the server engine's internal invariants (tests).
+    pub fn check_server_invariants(&self) {
+        self.shared.lock().engine.check_invariants();
+    }
+
+    /// Flushes all dirty pages and the log (checkpoint).
+    pub fn checkpoint(&self) -> std::io::Result<()> {
+        self.shared.lock().store.flush_all()
+    }
+
+    /// A snapshot of the *durable* log bytes, as a crash would leave them
+    /// (for recovery tests).
+    pub fn durable_log(&self) -> Vec<u8> {
+        self.shared.lock().store.wal().durable_bytes()
+    }
+
+    /// Stops all threads, flushing state first.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.checkpoint();
+        for tx in &self.app_txs {
+            let _ = tx.send(AppCmd::Shutdown);
+        }
+        let _ = self.server_tx.send(ToServer::Shutdown);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Oodb {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}

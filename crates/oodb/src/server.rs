@@ -1,0 +1,83 @@
+//! The server thread: protocol engine + logged page store.
+
+use crate::wire::{ToClient, ToServer};
+use crossbeam::channel::{Receiver, Sender};
+use fgs_core::server::{ServerAction, ServerEngine};
+use fgs_core::{DataGrant, Request, ServerMsg};
+use fgs_pagestore::Store;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// State shared between the server thread and introspection APIs.
+pub(crate) struct ServerShared {
+    pub engine: ServerEngine,
+    pub store: Store,
+}
+
+/// Runs the server loop until `Shutdown` (or all clients hang up).
+pub(crate) fn run_server(
+    shared: Arc<Mutex<ServerShared>>,
+    rx: Receiver<ToServer>,
+    client_txs: Vec<Sender<ToClient>>,
+) {
+    while let Ok(env) = rx.recv() {
+        let (from, req, commit_data) = match env {
+            ToServer::Shutdown => break,
+            ToServer::Req {
+                from,
+                req,
+                commit_data,
+            } => (from, req, commit_data),
+        };
+        let mut g = shared.lock();
+        // Commit: make the shipped updates durable *before* the protocol
+        // engine releases locks (readers unblocked by the commit must see
+        // the new values).
+        if let Request::Commit { txn, .. } = &req {
+            if !commit_data.is_empty() {
+                g.store.begin(*txn);
+                for (oid, bytes) in &commit_data {
+                    g.store
+                        .update_object(*txn, *oid, bytes)
+                        .expect("commit install failed");
+                }
+            }
+            g.store.commit(*txn); // log force
+        }
+        let outcome = g.engine.handle(from, req);
+        for action in outcome.actions {
+            let ServerAction::Send { to, msg } = action;
+            let env = attach_data(&g.store, msg);
+            // A send error means the client runtime is gone (shutdown
+            // race); drop the message.
+            let _ = client_txs[to.0 as usize].send(env);
+        }
+    }
+}
+
+/// Attaches page images / object bytes to grants.
+fn attach_data(store: &Store, msg: ServerMsg) -> ToClient {
+    let (page_image, object_bytes) = match &msg {
+        ServerMsg::ReadGranted { oid, data, .. } | ServerMsg::WriteGranted { oid, data, .. } => {
+            let image = match data {
+                DataGrant::Page { page, .. } => {
+                    Some(store.page_image(*page).expect("page image readable"))
+                }
+                _ => None,
+            };
+            let bytes = match data {
+                DataGrant::Page { .. } | DataGrant::Object { .. } => {
+                    store.read_object(*oid).expect("object readable")
+                }
+                DataGrant::None => None,
+            };
+            (image, bytes)
+        }
+        _ => (None, None),
+    };
+    ToClient {
+        msg,
+        page_image,
+        object_bytes,
+    }
+}

@@ -1,0 +1,103 @@
+//! The application-facing session API.
+
+use crate::error::TxnError;
+use crate::wire::AppCmd;
+use crossbeam::channel::{bounded, Sender};
+use fgs_core::{ClientStats, Oid};
+use std::time::Duration;
+
+const RPC_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A handle onto one client workstation. One transaction runs at a time;
+/// calls block until the engine grants (or aborts) them.
+///
+/// `Session` is cheap to clone, but concurrent calls from multiple threads
+/// against the same client violate the one-transaction-per-client model —
+/// give each thread its own client instead.
+#[derive(Debug, Clone)]
+pub struct Session {
+    client: u16,
+    tx: Sender<AppCmd>,
+}
+
+impl Session {
+    pub(crate) fn new(client: u16, tx: Sender<AppCmd>) -> Self {
+        Session { client, tx }
+    }
+
+    /// The client id this session drives.
+    pub fn client(&self) -> u16 {
+        self.client
+    }
+
+    /// Starts a transaction.
+    pub fn begin(&self) -> Result<(), TxnError> {
+        self.rpc(|reply| AppCmd::Begin { reply })
+    }
+
+    /// Reads an object. Blocks while the object is write-locked remotely.
+    pub fn read(&self, oid: Oid) -> Result<Vec<u8>, TxnError> {
+        self.rpc(|reply| AppCmd::Read { oid, reply })
+    }
+
+    /// Writes an object (acquiring the write lock per the protocol).
+    pub fn write(&self, oid: Oid, bytes: impl Into<Vec<u8>>) -> Result<(), TxnError> {
+        let bytes = bytes.into();
+        self.rpc(move |reply| AppCmd::Write { oid, bytes, reply })
+    }
+
+    /// Commits the transaction (durable once this returns).
+    pub fn commit(&self) -> Result<(), TxnError> {
+        self.rpc(|reply| AppCmd::Commit { reply })
+    }
+
+    /// Voluntarily aborts the transaction.
+    pub fn abort(&self) -> Result<(), TxnError> {
+        self.rpc(|reply| AppCmd::Abort { reply })
+    }
+
+    /// This client's protocol counters.
+    pub fn stats(&self) -> Result<ClientStats, TxnError> {
+        self.rpc(|reply| AppCmd::Stats { reply })
+    }
+
+    /// Runs `body` inside a transaction, retrying on deadlock up to
+    /// `max_retries` times. Any other error aborts and propagates.
+    pub fn run_txn<T>(
+        &self,
+        max_retries: usize,
+        mut body: impl FnMut(&Session) -> Result<T, TxnError>,
+    ) -> Result<T, TxnError> {
+        let mut attempts = 0;
+        loop {
+            self.begin()?;
+            match body(self).and_then(|v| self.commit().map(|()| v)) {
+                Ok(v) => return Ok(v),
+                Err(TxnError::Deadlock) if attempts < max_retries => {
+                    attempts += 1;
+                    // The victim is already cleaned up server-side; just
+                    // retry with the same logic.
+                }
+                Err(e) => {
+                    // Best-effort rollback of a still-active transaction.
+                    let _ = self.abort();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn rpc<T>(
+        &self,
+        make: impl FnOnce(Sender<Result<T, TxnError>>) -> AppCmd,
+    ) -> Result<T, TxnError>
+    where
+        T: Send,
+    {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx.send(make(reply_tx)).map_err(|_| TxnError::Closed)?;
+        reply_rx
+            .recv_timeout(RPC_TIMEOUT)
+            .map_err(|_| TxnError::Closed)?
+    }
+}

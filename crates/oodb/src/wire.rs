@@ -1,0 +1,61 @@
+//! Internal channel message types between sessions, client runtimes and
+//! the server thread.
+
+use crate::error::TxnError;
+use crossbeam::channel::Sender;
+use fgs_core::{ClientId, Oid, Request, ServerMsg};
+
+/// Client → server envelope.
+#[derive(Debug)]
+pub(crate) enum ToServer {
+    /// A protocol request; commits carry the dirty object bytes.
+    Req {
+        /// Sending client.
+        from: ClientId,
+        /// The protocol request.
+        req: Request,
+        /// Dirty `(object, bytes)` pairs accompanying a commit.
+        commit_data: Vec<(Oid, Vec<u8>)>,
+    },
+    /// Stop the server thread.
+    Shutdown,
+}
+
+/// Server → client envelope: the protocol message plus any data payloads.
+#[derive(Debug)]
+pub(crate) struct ToClient {
+    /// The protocol message.
+    pub msg: ServerMsg,
+    /// Raw page image accompanying a `DataGrant::Page`.
+    pub page_image: Option<Vec<u8>>,
+    /// Resolved bytes of the requested object (present with grants; used
+    /// when the object's home slot holds a forwarding stub).
+    pub object_bytes: Option<Vec<u8>>,
+}
+
+/// Application → client-runtime commands.
+#[derive(Debug)]
+pub(crate) enum AppCmd {
+    Begin {
+        reply: Sender<Result<(), TxnError>>,
+    },
+    Read {
+        oid: Oid,
+        reply: Sender<Result<Vec<u8>, TxnError>>,
+    },
+    Write {
+        oid: Oid,
+        bytes: Vec<u8>,
+        reply: Sender<Result<(), TxnError>>,
+    },
+    Commit {
+        reply: Sender<Result<(), TxnError>>,
+    },
+    Abort {
+        reply: Sender<Result<(), TxnError>>,
+    },
+    Stats {
+        reply: Sender<Result<fgs_core::ClientStats, TxnError>>,
+    },
+    Shutdown,
+}

@@ -1,0 +1,412 @@
+//! Slotted pages.
+//!
+//! A page is a fixed-size byte array holding variable-length records
+//! addressed by slot number. The layout is the classic slotted page:
+//!
+//! ```text
+//! +--------+-----------------------------+------------------+
+//! | header | slot directory (grows ->)   |   <- record heap |
+//! +--------+-----------------------------+------------------+
+//! ```
+//!
+//! Records can change size in place (§6 of the paper): an update that no
+//! longer fits returns [`PageError::Full`] and the caller installs a
+//! *forwarding* record pointing at the object's new home, as EXODUS-style
+//! systems do. Readers that encounter a forward chase it.
+
+use std::fmt;
+
+/// Errors from slotted-page operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageError {
+    /// Not enough contiguous + reclaimable space for the record.
+    Full,
+    /// The slot does not exist or holds no record.
+    NoSuchSlot,
+}
+
+impl fmt::Display for PageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageError::Full => write!(f, "page full"),
+            PageError::NoSuchSlot => write!(f, "no such slot"),
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+/// What a slot holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record<'a> {
+    /// The record's bytes live here.
+    Data(&'a [u8]),
+    /// The record moved: (page, slot) of its new home.
+    Forward(u32, u16),
+}
+
+const HDR_LEN: usize = 8; // slot_count u16 | free_start u16 | free_end u16 | flags u16
+const SLOT_LEN: usize = 4; // offset u16 | len u16 (offset 0xFFFF = empty)
+const EMPTY: u16 = 0xFFFF;
+const TAG_DATA: u8 = 0;
+const TAG_FORWARD: u8 = 1;
+
+/// A fixed-size slotted page over an owned byte buffer.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SlottedPage {
+    buf: Vec<u8>,
+}
+
+impl fmt::Debug for SlottedPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlottedPage")
+            .field("size", &self.buf.len())
+            .field("slots", &self.slot_count())
+            .field("free", &self.free_space())
+            .finish()
+    }
+}
+
+impl SlottedPage {
+    /// An empty page of `size` bytes (min 64).
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 64 && size <= u16::MAX as usize, "page size {size}");
+        let mut buf = vec![0u8; size];
+        write_u16(&mut buf, 0, 0); // slot_count
+        write_u16(&mut buf, 2, HDR_LEN as u16); // free_start
+        write_u16(&mut buf, 4, size as u16); // free_end
+        SlottedPage { buf }
+    }
+
+    /// Wraps existing bytes (e.g. read from disk). The caller asserts they
+    /// are a valid page image.
+    pub fn from_bytes(buf: Vec<u8>) -> Self {
+        assert!(buf.len() >= 64);
+        SlottedPage { buf }
+    }
+
+    /// The raw page image.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Page size in bytes.
+    pub fn size(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Number of slots in the directory (including empty ones).
+    pub fn slot_count(&self) -> u16 {
+        read_u16(&self.buf, 0)
+    }
+
+    /// Contiguous free space available for one new record of `len` bytes
+    /// (including its slot entry if a new slot is needed).
+    pub fn free_space(&self) -> usize {
+        let start = read_u16(&self.buf, 2) as usize;
+        let end = read_u16(&self.buf, 4) as usize;
+        end.saturating_sub(start)
+    }
+
+    /// Inserts a record, returning its slot.
+    pub fn insert(&mut self, data: &[u8]) -> Result<u16, PageError> {
+        // Reuse an empty slot if any.
+        let n = self.slot_count();
+        let reuse = (0..n).find(|&s| self.slot_offset(s) == EMPTY);
+        let need_slot = reuse.is_none();
+        let rec_len = data.len() + 1; // tag byte
+        let need = rec_len + if need_slot { SLOT_LEN } else { 0 };
+        if self.free_space() < need {
+            self.compact();
+            if self.free_space() < need {
+                return Err(PageError::Full);
+            }
+        }
+        let slot = match reuse {
+            Some(s) => s,
+            None => {
+                let s = n;
+                write_u16(&mut self.buf, 0, n + 1);
+                let fs = read_u16(&self.buf, 2);
+                write_u16(&mut self.buf, 2, fs + SLOT_LEN as u16);
+                s
+            }
+        };
+        self.place(slot, TAG_DATA, data);
+        Ok(slot)
+    }
+
+    /// Reads the record in `slot`.
+    pub fn read(&self, slot: u16) -> Result<Record<'_>, PageError> {
+        let off = self.slot_offset_checked(slot)?;
+        let len = self.slot_len(slot) as usize;
+        let bytes = &self.buf[off as usize..off as usize + len];
+        match bytes[0] {
+            TAG_DATA => Ok(Record::Data(&bytes[1..])),
+            TAG_FORWARD => {
+                let page = u32::from_le_bytes(bytes[1..5].try_into().expect("fwd page"));
+                let slot = u16::from_le_bytes(bytes[5..7].try_into().expect("fwd slot"));
+                Ok(Record::Forward(page, slot))
+            }
+            t => panic!("corrupt record tag {t}"),
+        }
+    }
+
+    /// Updates the record in `slot` (it may grow or shrink). Fails with
+    /// [`PageError::Full`] if the page cannot hold the new size even after
+    /// compaction; the caller then forwards the record.
+    pub fn update(&mut self, slot: u16, data: &[u8]) -> Result<(), PageError> {
+        let off = self.slot_offset_checked(slot)?;
+        let old_len = self.slot_len(slot) as usize;
+        let new_len = data.len() + 1;
+        if new_len <= old_len {
+            // Shrink / same size in place (wasted tail reclaimed on
+            // compaction).
+            let off = off as usize;
+            self.buf[off] = TAG_DATA;
+            self.buf[off + 1..off + new_len].copy_from_slice(data);
+            self.set_slot(slot, off as u16, new_len as u16);
+            return Ok(());
+        }
+        // Try to place a fresh copy; tombstone the old one first so
+        // compaction can reclaim it.
+        self.set_slot(slot, EMPTY, 0);
+        if self.free_space() < new_len {
+            self.compact();
+        }
+        if self.free_space() < new_len {
+            // Restore the old record so the caller can still read it when
+            // installing a forward.
+            self.set_slot(slot, off, old_len as u16);
+            return Err(PageError::Full);
+        }
+        self.place(slot, TAG_DATA, data);
+        Ok(())
+    }
+
+    /// Replaces `slot` with a forwarding stub to `(page, to_slot)`.
+    pub fn forward(&mut self, slot: u16, page: u32, to_slot: u16) -> Result<(), PageError> {
+        let mut stub = [0u8; 6];
+        stub[..4].copy_from_slice(&page.to_le_bytes());
+        stub[4..].copy_from_slice(&to_slot.to_le_bytes());
+        let off = self.slot_offset_checked(slot)?;
+        let old_len = self.slot_len(slot) as usize;
+        if old_len >= 7 {
+            let off = off as usize;
+            self.buf[off] = TAG_FORWARD;
+            self.buf[off + 1..off + 7].copy_from_slice(&stub);
+            self.set_slot(slot, off as u16, 7);
+            return Ok(());
+        }
+        self.set_slot(slot, EMPTY, 0);
+        if self.free_space() < 7 {
+            self.compact();
+            if self.free_space() < 7 {
+                self.set_slot(slot, off, old_len as u16);
+                return Err(PageError::Full);
+            }
+        }
+        self.place(slot, TAG_FORWARD, &stub);
+        Ok(())
+    }
+
+    /// Writes `data` into a *specific* slot, creating the slot (and any
+    /// preceding directory entries) if needed. Used by recovery redo and
+    /// by fixed-slot object layouts where slot numbers are assigned
+    /// externally.
+    pub fn put_at(&mut self, slot: u16, data: &[u8]) -> Result<(), PageError> {
+        let n = self.slot_count();
+        if slot < n && self.slot_offset(slot) != EMPTY {
+            return self.update(slot, data);
+        }
+        let new_slots = (slot + 1).saturating_sub(n) as usize;
+        let need = data.len() + 1 + new_slots * SLOT_LEN;
+        if self.free_space() < need {
+            self.compact();
+            if self.free_space() < need {
+                return Err(PageError::Full);
+            }
+        }
+        if slot >= n {
+            for s in n..=slot {
+                self.set_slot(s, EMPTY, 0);
+            }
+            write_u16(&mut self.buf, 0, slot + 1);
+            let fs = read_u16(&self.buf, 2);
+            write_u16(&mut self.buf, 2, fs + (new_slots * SLOT_LEN) as u16);
+        }
+        self.place(slot, TAG_DATA, data);
+        Ok(())
+    }
+
+    /// Deletes the record in `slot`; the slot may be reused.
+    pub fn delete(&mut self, slot: u16) -> Result<(), PageError> {
+        self.slot_offset_checked(slot)?;
+        self.set_slot(slot, EMPTY, 0);
+        Ok(())
+    }
+
+    /// Whether `slot` currently holds a record.
+    pub fn occupied(&self, slot: u16) -> bool {
+        slot < self.slot_count() && self.slot_offset(slot) != EMPTY
+    }
+
+    /// Rewrites the heap to squeeze out holes.
+    pub fn compact(&mut self) {
+        let size = self.buf.len();
+        let n = self.slot_count();
+        let mut records: Vec<(u16, Vec<u8>)> = Vec::new();
+        for s in 0..n {
+            if self.slot_offset(s) != EMPTY {
+                let off = self.slot_offset(s) as usize;
+                let len = self.slot_len(s) as usize;
+                records.push((s, self.buf[off..off + len].to_vec()));
+            }
+        }
+        let mut end = size;
+        for (s, rec) in records {
+            end -= rec.len();
+            self.buf[end..end + rec.len()].copy_from_slice(&rec);
+            self.set_slot(s, end as u16, rec.len() as u16);
+        }
+        write_u16(&mut self.buf, 4, end as u16);
+    }
+
+    // -- internals --
+
+    fn place(&mut self, slot: u16, tag: u8, data: &[u8]) {
+        let rec_len = data.len() + 1;
+        let end = read_u16(&self.buf, 4) as usize;
+        let off = end - rec_len;
+        self.buf[off] = tag;
+        self.buf[off + 1..off + rec_len].copy_from_slice(data);
+        write_u16(&mut self.buf, 4, off as u16);
+        self.set_slot(slot, off as u16, rec_len as u16);
+    }
+
+    fn slot_pos(slot: u16) -> usize {
+        HDR_LEN + slot as usize * SLOT_LEN
+    }
+
+    fn slot_offset(&self, slot: u16) -> u16 {
+        read_u16(&self.buf, Self::slot_pos(slot))
+    }
+
+    fn slot_len(&self, slot: u16) -> u16 {
+        read_u16(&self.buf, Self::slot_pos(slot) + 2)
+    }
+
+    fn slot_offset_checked(&self, slot: u16) -> Result<u16, PageError> {
+        if slot >= self.slot_count() || self.slot_offset(slot) == EMPTY {
+            return Err(PageError::NoSuchSlot);
+        }
+        Ok(self.slot_offset(slot))
+    }
+
+    fn set_slot(&mut self, slot: u16, off: u16, len: u16) {
+        let pos = Self::slot_pos(slot);
+        write_u16(&mut self.buf, pos, off);
+        write_u16(&mut self.buf, pos + 2, len);
+    }
+}
+
+fn read_u16(buf: &[u8], pos: usize) -> u16 {
+    u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("in bounds"))
+}
+
+fn write_u16(buf: &mut [u8], pos: usize, v: u16) {
+    buf[pos..pos + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_read_roundtrip() {
+        let mut p = SlottedPage::new(256);
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.read(a).unwrap(), Record::Data(b"hello"));
+        assert_eq!(p.read(b).unwrap(), Record::Data(b"world!"));
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut p = SlottedPage::new(256);
+        let s = p.insert(b"abcdef").unwrap();
+        p.update(s, b"xy").unwrap(); // shrink
+        assert_eq!(p.read(s).unwrap(), Record::Data(b"xy"));
+        p.update(s, b"a much longer record body").unwrap(); // grow
+        assert_eq!(
+            p.read(s).unwrap(),
+            Record::Data(b"a much longer record body")
+        );
+    }
+
+    #[test]
+    fn full_page_rejects_then_forwards() {
+        let mut p = SlottedPage::new(96);
+        let s = p.insert(&[7u8; 40]).unwrap();
+        // Growing beyond the page fails...
+        assert_eq!(p.update(s, &[8u8; 200]), Err(PageError::Full));
+        // ...and the old record is still readable,
+        assert_eq!(p.read(s).unwrap(), Record::Data(&[7u8; 40][..]));
+        // ...so the caller forwards it.
+        p.forward(s, 99, 3).unwrap();
+        assert_eq!(p.read(s).unwrap(), Record::Forward(99, 3));
+    }
+
+    #[test]
+    fn delete_frees_and_slot_reused() {
+        let mut p = SlottedPage::new(128);
+        let a = p.insert(b"one").unwrap();
+        let _b = p.insert(b"two").unwrap();
+        p.delete(a).unwrap();
+        assert!(!p.occupied(a));
+        assert_eq!(p.read(a), Err(PageError::NoSuchSlot));
+        let c = p.insert(b"three").unwrap();
+        assert_eq!(c, a, "empty slot reused");
+    }
+
+    #[test]
+    fn compaction_reclaims_holes() {
+        let mut p = SlottedPage::new(128);
+        let a = p.insert(&[1u8; 30]).unwrap();
+        let b = p.insert(&[2u8; 30]).unwrap();
+        let c = p.insert(&[3u8; 30]).unwrap();
+        p.delete(b).unwrap();
+        // Without compaction there is no room for 40 contiguous bytes; the
+        // insert path compacts internally.
+        let d = p.insert(&[4u8; 40]).unwrap();
+        assert_eq!(p.read(a).unwrap(), Record::Data(&[1u8; 30][..]));
+        assert_eq!(p.read(c).unwrap(), Record::Data(&[3u8; 30][..]));
+        assert_eq!(p.read(d).unwrap(), Record::Data(&[4u8; 40][..]));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut p = SlottedPage::new(256);
+        let s = p.insert(b"persisted").unwrap();
+        let q = SlottedPage::from_bytes(p.as_bytes().to_vec());
+        assert_eq!(q.read(s).unwrap(), Record::Data(b"persisted"));
+    }
+
+    #[test]
+    fn page_full_on_insert() {
+        let mut p = SlottedPage::new(64);
+        assert_eq!(p.insert(&[0u8; 100]), Err(PageError::Full));
+        let _ = p.insert(&[0u8; 30]).unwrap();
+        assert_eq!(p.insert(&[0u8; 30]), Err(PageError::Full));
+    }
+
+    #[test]
+    fn forward_tiny_record() {
+        let mut p = SlottedPage::new(128);
+        let s = p.insert(b"x").unwrap(); // 2-byte record, stub needs 7
+        p.forward(s, 5, 0).unwrap();
+        assert_eq!(p.read(s).unwrap(), Record::Forward(5, 0));
+    }
+}

@@ -1,0 +1,281 @@
+//! Crash recovery: repeat history, then roll back losers.
+//!
+//! The engine is steal/no-force, so after a crash the disk may hold pages
+//! with uncommitted updates (stolen) and lack pages with committed updates
+//! (never forced). Recovery restores exactly the committed state:
+//!
+//! 1. **Analysis** — scan the durable log; transactions with a `Commit`
+//!    record are winners, everything else (including explicit `Abort`s) is
+//!    a loser.
+//! 2. **Redo** — reapply every update's after-image in log order (repeat
+//!    history; image-based updates make this idempotent).
+//! 3. **Undo** — apply losers' before-images in reverse log order.
+
+use crate::bufferpool::BufferPool;
+use crate::disk::DiskManager;
+use crate::wal::{LogRecord, Wal};
+use fgs_core::TxnId;
+use std::collections::HashSet;
+use std::io;
+use std::sync::Arc;
+
+/// The outcome of recovery.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Transactions whose effects were restored.
+    pub winners: Vec<TxnId>,
+    /// Transactions whose effects were rolled back.
+    pub losers: Vec<TxnId>,
+    /// Updates reapplied during redo.
+    pub redone: usize,
+    /// Updates rolled back during undo.
+    pub undone: usize,
+}
+
+/// Recovers the database on `disk` from the durable prefix of `wal`,
+/// leaving only committed effects, flushed to disk. Returns the rebuilt
+/// pool (sharing `wal`) and a report.
+pub fn recover(
+    disk: Arc<dyn DiskManager>,
+    wal: Arc<Wal>,
+    pool_capacity: usize,
+) -> io::Result<(BufferPool, RecoveryReport)> {
+    let records = wal.replay();
+    // Analysis.
+    let mut seen: HashSet<TxnId> = HashSet::new();
+    let mut winners: HashSet<TxnId> = HashSet::new();
+    for (_, rec) in &records {
+        seen.insert(rec.txn());
+        if let LogRecord::Commit { txn } = rec {
+            winners.insert(*txn);
+        }
+    }
+    let losers: HashSet<TxnId> = seen.difference(&winners).copied().collect();
+
+    let pool = BufferPool::new(disk, wal.clone(), pool_capacity);
+    // Redo: repeat history.
+    let mut redone = 0;
+    for (lsn, rec) in &records {
+        match rec {
+            LogRecord::Update { oid, after, .. } => {
+                pool.with_page_mut(oid.page, *lsn, |p| {
+                    p.put_at(oid.slot, after).expect("redo fits: it fit before")
+                })?;
+                redone += 1;
+            }
+            LogRecord::Forward { from, to, .. } => {
+                // Ensure the stub exists, then point it at the overflow
+                // home (the overflow bytes have their own Update record).
+                pool.with_page_mut(from.page, *lsn, |p| {
+                    if !p.occupied(from.slot) {
+                        p.put_at(from.slot, &[]).expect("stub placeholder fits");
+                    }
+                    p.forward(from.slot, to.page.0, to.slot)
+                        .expect("stub fits: it fit before");
+                })?;
+                redone += 1;
+            }
+            _ => {}
+        }
+    }
+    // Undo losers, newest first.
+    let mut undone = 0;
+    for (lsn, rec) in records.iter().rev() {
+        match rec {
+            LogRecord::Update {
+                txn, oid, before, ..
+            } if losers.contains(txn) => {
+                pool.with_page_mut(oid.page, *lsn, |p| {
+                    if before.is_empty() {
+                        let _ = p.delete(oid.slot);
+                    } else {
+                        p.put_at(oid.slot, before)
+                            .expect("undo fits: it fit before");
+                    }
+                })?;
+                undone += 1;
+            }
+            LogRecord::Forward {
+                txn,
+                from,
+                to,
+                home_before,
+            } if losers.contains(txn) => {
+                pool.with_page_mut(from.page, *lsn, |p| {
+                    p.put_at(from.slot, home_before)
+                        .expect("undo fits: it fit before")
+                })?;
+                pool.with_page_mut(to.page, *lsn, |p| {
+                    let _ = p.delete(to.slot);
+                })?;
+                undone += 1;
+            }
+            _ => {}
+        }
+    }
+    pool.flush_all()?;
+    let mut report = RecoveryReport {
+        winners: winners.into_iter().collect(),
+        losers: losers.into_iter().collect(),
+        redone,
+        undone,
+    };
+    report.winners.sort();
+    report.losers.sort();
+    Ok((pool, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use crate::page::Record;
+    use fgs_core::{ClientId, Oid, PageId};
+
+    fn txn(c: u16) -> TxnId {
+        TxnId::new(ClientId(c), 1)
+    }
+
+    fn oid(p: u32, s: u16) -> Oid {
+        Oid::new(PageId(p), s)
+    }
+
+    fn read_obj(pool: &BufferPool, o: Oid) -> Option<Vec<u8>> {
+        pool.with_page(o.page, |p| match p.read(o.slot) {
+            Ok(Record::Data(d)) => Some(d.to_vec()),
+            _ => None,
+        })
+        .unwrap()
+    }
+
+    /// Builds a WAL: T1 commits an update, T2 updates but never commits.
+    fn crash_scenario(steal_t2: bool) -> (Arc<MemDisk>, Arc<Wal>) {
+        let disk = Arc::new(MemDisk::new(256));
+        let wal = Arc::new(Wal::new());
+        wal.append(&LogRecord::Begin { txn: txn(1) });
+        wal.append(&LogRecord::Update {
+            txn: txn(1),
+            oid: oid(1, 0),
+            before: vec![],
+            after: b"committed".to_vec(),
+        });
+        wal.append(&LogRecord::Commit { txn: txn(1) });
+        wal.append(&LogRecord::Begin { txn: txn(2) });
+        wal.append(&LogRecord::Update {
+            txn: txn(2),
+            oid: oid(1, 1),
+            before: vec![],
+            after: b"uncommitted".to_vec(),
+        });
+        wal.flush();
+        if steal_t2 {
+            // Simulate steal: T2's uncommitted update reached the disk.
+            let mut page = crate::page::SlottedPage::new(256);
+            page.put_at(0, b"committed").unwrap();
+            page.put_at(1, b"uncommitted").unwrap();
+            disk.write_page(PageId(1), page.as_bytes()).unwrap();
+        }
+        (disk, wal)
+    }
+
+    #[test]
+    fn redo_restores_unforced_committed_updates() {
+        // No-force: the committed update never reached disk.
+        let (disk, wal) = crash_scenario(false);
+        let (pool, report) = recover(disk, wal, 8).unwrap();
+        assert_eq!(report.winners, vec![txn(1)]);
+        assert_eq!(report.losers, vec![txn(2)]);
+        assert_eq!(
+            read_obj(&pool, oid(1, 0)).as_deref(),
+            Some(&b"committed"[..])
+        );
+        assert_eq!(read_obj(&pool, oid(1, 1)), None, "loser undone");
+    }
+
+    #[test]
+    fn undo_rolls_back_stolen_uncommitted_updates() {
+        let (disk, wal) = crash_scenario(true);
+        let (pool, report) = recover(disk, wal, 8).unwrap();
+        assert_eq!(report.undone, 1);
+        assert_eq!(
+            read_obj(&pool, oid(1, 0)).as_deref(),
+            Some(&b"committed"[..])
+        );
+        assert_eq!(read_obj(&pool, oid(1, 1)), None);
+    }
+
+    #[test]
+    fn undo_restores_before_images() {
+        let disk = Arc::new(MemDisk::new(256));
+        let wal = Arc::new(Wal::new());
+        // T1 commits v1; T2 overwrites with v2 but never commits.
+        wal.append(&LogRecord::Update {
+            txn: txn(1),
+            oid: oid(2, 0),
+            before: vec![],
+            after: b"v1".to_vec(),
+        });
+        wal.append(&LogRecord::Commit { txn: txn(1) });
+        wal.append(&LogRecord::Update {
+            txn: txn(2),
+            oid: oid(2, 0),
+            before: b"v1".to_vec(),
+            after: b"v2".to_vec(),
+        });
+        wal.flush();
+        let (pool, _) = recover(disk, wal, 8).unwrap();
+        assert_eq!(read_obj(&pool, oid(2, 0)).as_deref(), Some(&b"v1"[..]));
+    }
+
+    #[test]
+    fn explicit_abort_is_a_loser() {
+        let disk = Arc::new(MemDisk::new(256));
+        let wal = Arc::new(Wal::new());
+        wal.append(&LogRecord::Update {
+            txn: txn(3),
+            oid: oid(1, 4),
+            before: vec![],
+            after: b"oops".to_vec(),
+        });
+        wal.append(&LogRecord::Abort { txn: txn(3) });
+        wal.flush();
+        let (pool, report) = recover(disk, wal, 8).unwrap();
+        assert_eq!(report.losers, vec![txn(3)]);
+        assert_eq!(read_obj(&pool, oid(1, 4)), None);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let (disk, wal) = crash_scenario(true);
+        let (pool, r1) = recover(disk.clone(), wal.clone(), 8).unwrap();
+        drop(pool);
+        // Crash again immediately after recovery: same state results.
+        let (pool, r2) = recover(disk, wal, 8).unwrap();
+        assert_eq!(r1.winners, r2.winners);
+        assert_eq!(r1.losers, r2.losers);
+        assert_eq!(
+            read_obj(&pool, oid(1, 0)).as_deref(),
+            Some(&b"committed"[..])
+        );
+        assert_eq!(read_obj(&pool, oid(1, 1)), None);
+    }
+
+    #[test]
+    fn unflushed_commit_loses() {
+        let disk = Arc::new(MemDisk::new(256));
+        let wal = Arc::new(Wal::new());
+        wal.append(&LogRecord::Update {
+            txn: txn(1),
+            oid: oid(1, 0),
+            before: vec![],
+            after: b"x".to_vec(),
+        });
+        wal.flush();
+        wal.append(&LogRecord::Commit { txn: txn(1) });
+        // Commit record never flushed: a crash loses the transaction.
+        let durable = Wal::from_bytes(wal.durable_bytes());
+        let (pool, report) = recover(disk, Arc::new(durable), 8).unwrap();
+        assert_eq!(report.losers, vec![txn(1)]);
+        assert_eq!(read_obj(&pool, oid(1, 0)), None);
+    }
+}

@@ -1,0 +1,354 @@
+//! The storage facade the page-server engine builds on: a logged object
+//! store with fixed object homes, forwarding on overflow, and
+//! steal/no-force transaction semantics.
+
+use crate::bufferpool::BufferPool;
+use crate::disk::DiskManager;
+use crate::page::{PageError, Record};
+use crate::recovery::{recover, RecoveryReport};
+use crate::wal::{LogRecord, Wal};
+use fgs_core::{Oid, PageId, TxnId};
+use std::io;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A logged object store over a disk and buffer pool.
+pub struct Store {
+    pool: BufferPool,
+    wal: Arc<Wal>,
+    /// First page of the overflow region (forward targets are allocated
+    /// from here upward).
+    overflow_next: AtomicU32,
+}
+
+impl Store {
+    /// Creates a store over `disk` with a `pool_pages`-frame buffer pool.
+    /// `overflow_start` is the first page number reserved for forwarded
+    /// records (beyond the regular database).
+    pub fn new(disk: Arc<dyn DiskManager>, pool_pages: usize, overflow_start: u32) -> Self {
+        let wal = Arc::new(Wal::new());
+        Store {
+            pool: BufferPool::new(disk, wal.clone(), pool_pages),
+            wal,
+            overflow_next: AtomicU32::new(overflow_start),
+        }
+    }
+
+    /// Recovers a store from a disk image and a durable log image.
+    pub fn recover(
+        disk: Arc<dyn DiskManager>,
+        log_bytes: Vec<u8>,
+        pool_pages: usize,
+        overflow_start: u32,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        let wal = Arc::new(Wal::from_bytes(log_bytes));
+        let (pool, report) = recover(disk, wal.clone(), pool_pages)?;
+        Ok((
+            Store {
+                pool,
+                wal,
+                overflow_next: AtomicU32::new(overflow_start),
+            },
+            report,
+        ))
+    }
+
+    /// The write-ahead log (for durability snapshots and crash tests).
+    pub fn wal(&self) -> &Arc<Wal> {
+        &self.wal
+    }
+
+    /// The buffer pool (hit-rate statistics, pinning).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Populates the database with `objects_per_page` objects of
+    /// `object_size` bytes on each of `db_pages` pages, all zero-filled,
+    /// without logging (initial load). Flushes to disk.
+    pub fn init_objects(
+        &self,
+        db_pages: u32,
+        objects_per_page: u16,
+        object_size: usize,
+    ) -> io::Result<()> {
+        let zeroes = vec![0u8; object_size];
+        for page in 0..db_pages {
+            self.pool.with_page_mut(PageId(page), 0, |p| {
+                for _ in 0..objects_per_page {
+                    p.insert(&zeroes).expect("initial objects fit");
+                }
+            })?;
+        }
+        self.pool.flush_all()
+    }
+
+    /// Reads an object, following at most one forward hop (forwarded
+    /// records are never re-forwarded: the overflow home is permanent).
+    pub fn read_object(&self, oid: Oid) -> io::Result<Option<Vec<u8>>> {
+        let first = self.pool.with_page(oid.page, |p| match p.read(oid.slot) {
+            Ok(Record::Data(d)) => Some(Ok(d.to_vec())),
+            Ok(Record::Forward(page, slot)) => Some(Err(Oid::new(PageId(page), slot))),
+            Err(_) => None,
+        })?;
+        match first {
+            Some(Ok(data)) => Ok(Some(data)),
+            Some(Err(fwd)) => self.pool.with_page(fwd.page, |p| match p.read(fwd.slot) {
+                Ok(Record::Data(d)) => Some(d.to_vec()),
+                _ => None,
+            }),
+            None => Ok(None),
+        }
+    }
+
+    /// A copy of a page's current image (what the server ships to
+    /// clients).
+    pub fn page_image(&self, page: PageId) -> io::Result<Vec<u8>> {
+        self.pool.with_page(page, |p| p.as_bytes().to_vec())
+    }
+
+    /// Logs `txn`'s start.
+    pub fn begin(&self, txn: TxnId) {
+        self.wal.append(&LogRecord::Begin { txn });
+    }
+
+    /// Applies one logged object update for `txn`. Size-changing updates
+    /// that overflow the page are forwarded to the overflow region.
+    pub fn update_object(&self, txn: TxnId, oid: Oid, after: &[u8]) -> io::Result<()> {
+        // Resolve a forward first: updates apply at the record's home.
+        let target = self.pool.with_page(oid.page, |p| match p.read(oid.slot) {
+            Ok(Record::Forward(page, slot)) => Oid::new(PageId(page), slot),
+            _ => oid,
+        })?;
+        let before = self.read_object(target)?.unwrap_or_default();
+        let lsn = self.wal.append(&LogRecord::Update {
+            txn,
+            oid: target,
+            before: before.clone(),
+            after: after.to_vec(),
+        });
+        let fit = self
+            .pool
+            .with_page_mut(target.page, lsn, |p| p.put_at(target.slot, after))?;
+        match fit {
+            Ok(()) => Ok(()),
+            Err(PageError::Full) => self.forward_update(txn, target, &before, after),
+            Err(e) => Err(io::Error::other(e)),
+        }
+    }
+
+    /// Handles a page-overflowing update: place the bytes on an overflow
+    /// page, install a forward stub at the home slot.
+    fn forward_update(&self, txn: TxnId, home: Oid, before: &[u8], after: &[u8]) -> io::Result<()> {
+        // Find an overflow page with room (records are ≤ page payload).
+        let mut page = self.overflow_next.load(Ordering::Relaxed);
+        let to = loop {
+            let slot = self
+                .pool
+                .with_page_mut(PageId(page), 0, |p| p.insert(after).ok())?;
+            match slot {
+                Some(slot) => break Oid::new(PageId(page), slot),
+                None => {
+                    page += 1;
+                    self.overflow_next.store(page, Ordering::Relaxed);
+                }
+            }
+        };
+        // Log the overflow-resident bytes, then the forward.
+        let lsn = self.wal.append(&LogRecord::Update {
+            txn,
+            oid: to,
+            before: Vec::new(),
+            after: after.to_vec(),
+        });
+        self.pool.with_page_mut(to.page, lsn, |_| ())?; // stamp the page LSN
+        let lsn = self.wal.append(&LogRecord::Forward {
+            txn,
+            from: home,
+            to,
+            home_before: before.to_vec(),
+        });
+        self.pool.with_page_mut(home.page, lsn, |p| {
+            p.forward(home.slot, to.page.0, to.slot)
+                .expect("stub always fits after shrink")
+        })
+    }
+
+    /// Commits `txn`: appends the commit record and forces the log.
+    pub fn commit(&self, txn: TxnId) {
+        self.wal.append(&LogRecord::Commit { txn });
+        self.wal.flush();
+    }
+
+    /// Aborts `txn`: undoes its updates from the log (newest first) and
+    /// appends an abort record.
+    pub fn abort(&self, txn: TxnId) -> io::Result<()> {
+        let records = {
+            // Undo needs unflushed records too; snapshot all appended
+            // bytes by flushing first (abort does not need durability, but
+            // this keeps replay simple and is harmless).
+            self.wal.flush();
+            self.wal.replay()
+        };
+        for (lsn, rec) in records.iter().rev() {
+            match rec {
+                LogRecord::Update {
+                    txn: t,
+                    oid,
+                    before,
+                    ..
+                } if *t == txn => {
+                    self.pool.with_page_mut(oid.page, *lsn, |p| {
+                        if before.is_empty() {
+                            let _ = p.delete(oid.slot);
+                        } else {
+                            p.put_at(oid.slot, before).expect("undo fits");
+                        }
+                    })?;
+                }
+                LogRecord::Forward {
+                    txn: t,
+                    from,
+                    to,
+                    home_before,
+                } if *t == txn => {
+                    self.pool.with_page_mut(from.page, *lsn, |p| {
+                        p.put_at(from.slot, home_before).expect("undo fits")
+                    })?;
+                    self.pool.with_page_mut(to.page, *lsn, |p| {
+                        let _ = p.delete(to.slot);
+                    })?;
+                }
+                _ => {}
+            }
+        }
+        self.wal.append(&LogRecord::Abort { txn });
+        Ok(())
+    }
+
+    /// Flushes everything (checkpoint/shutdown).
+    pub fn flush_all(&self) -> io::Result<()> {
+        self.pool.flush_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use fgs_core::ClientId;
+
+    fn store() -> (Store, Arc<MemDisk>) {
+        let disk = Arc::new(MemDisk::new(256));
+        let s = Store::new(disk.clone(), 16, 1000);
+        s.init_objects(4, 4, 16).unwrap();
+        (s, disk)
+    }
+
+    fn txn(n: u16) -> TxnId {
+        TxnId::new(ClientId(n), 1)
+    }
+
+    fn oid(p: u32, s: u16) -> Oid {
+        Oid::new(PageId(p), s)
+    }
+
+    #[test]
+    fn init_creates_fixed_objects() {
+        let (s, _) = store();
+        for p in 0..4 {
+            for sl in 0..4 {
+                assert_eq!(s.read_object(oid(p, sl)).unwrap().unwrap(), vec![0u8; 16]);
+            }
+        }
+    }
+
+    #[test]
+    fn update_and_read_back() {
+        let (s, _) = store();
+        s.begin(txn(1));
+        s.update_object(txn(1), oid(1, 2), b"new-value").unwrap();
+        s.commit(txn(1));
+        assert_eq!(s.read_object(oid(1, 2)).unwrap().unwrap(), b"new-value");
+    }
+
+    #[test]
+    fn abort_restores_before_image() {
+        let (s, _) = store();
+        s.begin(txn(1));
+        s.update_object(txn(1), oid(0, 0), b"v1").unwrap();
+        s.commit(txn(1));
+        s.begin(txn(2));
+        s.update_object(txn(2), oid(0, 0), b"v2").unwrap();
+        assert_eq!(s.read_object(oid(0, 0)).unwrap().unwrap(), b"v2");
+        s.abort(txn(2)).unwrap();
+        assert_eq!(s.read_object(oid(0, 0)).unwrap().unwrap(), b"v1");
+    }
+
+    #[test]
+    fn growing_update_forwards_and_reads_through() {
+        let (s, _) = store();
+        // 4 × 16-byte objects on a 256-byte page: a 150-byte record cannot
+        // fit alongside its siblings, so it forwards.
+        s.begin(txn(1));
+        let big = vec![0xCD; 150];
+        s.update_object(txn(1), oid(2, 1), &big).unwrap();
+        s.commit(txn(1));
+        assert_eq!(s.read_object(oid(2, 1)).unwrap().unwrap(), big);
+        // Neighbours unaffected.
+        assert_eq!(s.read_object(oid(2, 0)).unwrap().unwrap(), vec![0u8; 16]);
+        // Updating the forwarded object again applies at its new home.
+        s.begin(txn(2));
+        s.update_object(txn(2), oid(2, 1), b"small again").unwrap();
+        s.commit(txn(2));
+        assert_eq!(s.read_object(oid(2, 1)).unwrap().unwrap(), b"small again");
+    }
+
+    #[test]
+    fn abort_of_forwarding_update_restores_home() {
+        let (s, _) = store();
+        s.begin(txn(1));
+        s.update_object(txn(1), oid(2, 1), b"before-forward")
+            .unwrap();
+        s.commit(txn(1));
+        s.begin(txn(2));
+        s.update_object(txn(2), oid(2, 1), &[0xEE; 150]).unwrap();
+        s.abort(txn(2)).unwrap();
+        assert_eq!(
+            s.read_object(oid(2, 1)).unwrap().unwrap(),
+            b"before-forward"
+        );
+    }
+
+    #[test]
+    fn crash_recovery_via_store() {
+        let (s, disk) = store();
+        s.begin(txn(1));
+        s.update_object(txn(1), oid(1, 1), b"durable").unwrap();
+        s.commit(txn(1));
+        s.begin(txn(2));
+        s.update_object(txn(2), oid(1, 2), b"lost").unwrap();
+        // A steal forces t2's log records out before the crash.
+        s.wal().flush();
+        let log = s.wal().durable_bytes();
+        drop(s);
+        let (s2, report) = Store::recover(disk, log, 16, 1000).unwrap();
+        assert!(report.winners.contains(&txn(1)));
+        assert!(report.losers.contains(&txn(2)));
+        assert_eq!(s2.read_object(oid(1, 1)).unwrap().unwrap(), b"durable");
+        assert_eq!(s2.read_object(oid(1, 2)).unwrap().unwrap(), vec![0u8; 16]);
+    }
+
+    #[test]
+    fn crash_recovery_of_forwarded_commit() {
+        let (s, disk) = store();
+        s.begin(txn(1));
+        let big = vec![0xAB; 150];
+        s.update_object(txn(1), oid(3, 2), &big).unwrap();
+        s.commit(txn(1));
+        let log = s.wal().durable_bytes();
+        drop(s);
+        let (s2, _) = Store::recover(disk, log, 16, 1000).unwrap();
+        assert_eq!(s2.read_object(oid(3, 2)).unwrap().unwrap(), big);
+    }
+}

@@ -1,0 +1,215 @@
+//! System and overhead parameters (the paper's Table 1).
+//!
+//! Rows of the OCR'd table were misaligned in the surviving text; garbled
+//! values are reconstructed from the companion studies [Care91, Fran92a,
+//! Fran93], which used the same simulator (see DESIGN.md §2).
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's Table 1, plus the per-object client processing cost from
+/// the workload model (§4.2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Client CPU speed in MIPS.
+    pub client_mips: f64,
+    /// Server CPU speed in MIPS.
+    pub server_mips: f64,
+    /// Per-client buffer size as a fraction of the database.
+    pub client_buf_frac: f64,
+    /// Server buffer size as a fraction of the database.
+    pub server_buf_frac: f64,
+    /// Number of disks at the server.
+    pub server_disks: usize,
+    /// Minimum disk access time, in seconds.
+    pub min_disk_time: f64,
+    /// Maximum disk access time, in seconds.
+    pub max_disk_time: f64,
+    /// Network bandwidth in bits per second.
+    pub network_bps: f64,
+    /// Number of client workstations.
+    pub num_clients: u16,
+    /// Page size in bytes.
+    pub page_size: u32,
+    /// Fixed instruction cost to send or receive a message.
+    pub fixed_msg_inst: f64,
+    /// Additional instructions per message, expressed per `page_size`
+    /// bytes of payload ("10,000 per 4 KB page").
+    pub per_page_msg_inst: f64,
+    /// Size of a control message in bytes.
+    pub control_msg_bytes: u32,
+    /// Instructions per lock/unlock pair.
+    pub lock_inst: f64,
+    /// Instructions to register or unregister a copy.
+    pub register_copy_inst: f64,
+    /// CPU instructions to initiate a disk I/O.
+    pub disk_overhead_inst: f64,
+    /// Instructions to merge one object between divergent page copies.
+    pub copy_merge_inst: f64,
+    /// Client CPU instructions to process one object read (doubled for
+    /// writes). Derived from the 30,000-instructions-per-page figure of
+    /// [Care91] at an average low-locality of 4 objects per page.
+    pub object_proc_inst: f64,
+    /// §6.1 "redo-at-server": instead of merging shipped page copies, the
+    /// server replays the transaction's logged updates, charging the
+    /// object-update CPU work server-side. Shifts load from clients to the
+    /// server (the ablation bench quantifies by how much).
+    pub redo_at_server: bool,
+    /// Client think time between transactions, in seconds.
+    pub think_time: f64,
+    /// Delay before a deadlock victim is resubmitted, in seconds.
+    pub restart_delay: f64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            client_mips: 15.0,
+            server_mips: 30.0,
+            client_buf_frac: 0.25,
+            server_buf_frac: 0.50,
+            server_disks: 2,
+            min_disk_time: 0.010,
+            max_disk_time: 0.030,
+            network_bps: 80e6,
+            num_clients: 10,
+            page_size: 4096,
+            fixed_msg_inst: 20_000.0,
+            per_page_msg_inst: 10_000.0,
+            control_msg_bytes: 256,
+            lock_inst: 300.0,
+            register_copy_inst: 300.0,
+            disk_overhead_inst: 5_000.0,
+            copy_merge_inst: 300.0,
+            object_proc_inst: 7_500.0,
+            redo_at_server: false,
+            think_time: 0.0,
+            restart_delay: 0.0,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// CPU instructions to send or receive a message of `bytes` bytes.
+    pub fn msg_inst(&self, bytes: u32) -> f64 {
+        self.fixed_msg_inst + self.per_page_msg_inst * f64::from(bytes) / f64::from(self.page_size)
+    }
+
+    /// On-the-wire time for `bytes` bytes, in seconds.
+    pub fn wire_secs(&self, bytes: u32) -> f64 {
+        f64::from(bytes) * 8.0 / self.network_bps
+    }
+
+    /// The size in bytes of an object message payload for `objects_per_page`.
+    pub fn object_bytes(&self, objects_per_page: u16) -> u32 {
+        self.page_size / u32::from(objects_per_page)
+    }
+
+    /// Client buffer size in pages for a database of `db_pages`.
+    pub fn client_buf_pages(&self, db_pages: u32) -> usize {
+        ((db_pages as f64 * self.client_buf_frac) as usize).max(1)
+    }
+
+    /// Server buffer size in pages for a database of `db_pages`.
+    pub fn server_buf_pages(&self, db_pages: u32) -> usize {
+        ((db_pages as f64 * self.server_buf_frac) as usize).max(1)
+    }
+
+    /// Basic validity checks.
+    pub fn validate(&self) {
+        assert!(self.client_mips > 0.0 && self.server_mips > 0.0);
+        assert!(self.min_disk_time > 0.0 && self.min_disk_time <= self.max_disk_time);
+        assert!(self.network_bps > 0.0);
+        assert!(self.num_clients > 0);
+        assert!(self.page_size > 0);
+        assert!(self.server_disks > 0);
+        assert!((0.0..=1.0).contains(&self.client_buf_frac));
+        assert!((0.0..=1.0).contains(&self.server_buf_frac));
+    }
+}
+
+/// Length and sampling parameters of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Simulated duration in seconds (after which the run stops).
+    pub duration: f64,
+    /// Warm-up period excluded from statistics, in seconds.
+    pub warmup: f64,
+    /// Number of batches for the batch-means confidence interval.
+    pub batches: usize,
+    /// RNG seed; every run with the same seed and configuration is
+    /// bit-for-bit identical.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            duration: 220.0,
+            warmup: 20.0,
+            batches: 10,
+            seed: 0xF65_1994,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Measured (post-warm-up) span in seconds.
+    pub fn measured_secs(&self) -> f64 {
+        self.duration - self.warmup
+    }
+
+    /// Basic validity checks.
+    pub fn validate(&self) {
+        assert!(self.duration > self.warmup && self.warmup >= 0.0);
+        assert!(self.batches >= 2, "batch means needs at least two batches");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let c = SystemConfig::default();
+        c.validate();
+        assert_eq!(c.client_mips, 15.0);
+        assert_eq!(c.server_mips, 30.0);
+        assert_eq!(c.num_clients, 10);
+        assert_eq!(c.page_size, 4096);
+        assert_eq!(c.client_buf_pages(1250), 312);
+        assert_eq!(c.server_buf_pages(1250), 625);
+    }
+
+    #[test]
+    fn message_cost_model() {
+        let c = SystemConfig::default();
+        // Control message: fixed + ~256/4096 of the per-page increment.
+        let ctl = c.msg_inst(c.control_msg_bytes);
+        assert!((ctl - 20_625.0).abs() < 1.0);
+        // Page message: fixed + per-page increment on the page payload.
+        let page = c.msg_inst(c.control_msg_bytes + c.page_size);
+        assert!((page - 30_625.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn wire_times() {
+        let c = SystemConfig::default();
+        // 4 KB page at 80 Mbit/s ≈ 0.41 ms.
+        let t = c.wire_secs(4096);
+        assert!((t - 4096.0 * 8.0 / 80e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn object_sizing() {
+        let c = SystemConfig::default();
+        assert_eq!(c.object_bytes(20), 204);
+    }
+
+    #[test]
+    fn run_config_validates() {
+        let r = RunConfig::default();
+        r.validate();
+        assert!(r.measured_secs() > 0.0);
+    }
+}

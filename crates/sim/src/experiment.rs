@@ -1,0 +1,100 @@
+//! Experiment runner: write-probability sweeps over all five protocols,
+//! producing the paper's figures.
+
+use crate::config::{RunConfig, SystemConfig};
+use crate::driver::Simulator;
+use crate::metrics::{Figure, RunMetrics, Series};
+use fgs_core::Protocol;
+use fgs_workload::WorkloadSpec;
+
+/// The write-probability grid used for every throughput figure.
+pub const WRITE_PROBS: [f64; 7] = [0.0, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30];
+
+/// Runs one simulation point.
+pub fn run_point(
+    protocol: Protocol,
+    spec: WorkloadSpec,
+    sys: &SystemConfig,
+    run: &RunConfig,
+) -> RunMetrics {
+    Simulator::new(protocol, spec, sys.clone(), run.clone()).run()
+}
+
+/// Sweeps `protocols` × `WRITE_PROBS` for a workload family, producing one
+/// figure. `make_spec` maps a write probability to the workload spec.
+pub fn sweep(
+    id: &str,
+    title: &str,
+    protocols: &[Protocol],
+    sys: &SystemConfig,
+    run: &RunConfig,
+    make_spec: impl Fn(f64) -> WorkloadSpec,
+) -> Figure {
+    sweep_probs(id, title, protocols, sys, run, &WRITE_PROBS, make_spec)
+}
+
+/// Like [`sweep`] but over an explicit write-probability grid.
+pub fn sweep_probs(
+    id: &str,
+    title: &str,
+    protocols: &[Protocol],
+    sys: &SystemConfig,
+    run: &RunConfig,
+    probs: &[f64],
+    make_spec: impl Fn(f64) -> WorkloadSpec,
+) -> Figure {
+    let mut runs = Vec::new();
+    let mut series = Vec::new();
+    for &p in protocols {
+        let mut points = Vec::new();
+        for &w in probs {
+            let m = run_point(p, make_spec(w), sys, run);
+            points.push((w, m.throughput));
+            runs.push(m);
+        }
+        series.push(Series {
+            protocol: p.name().to_string(),
+            points,
+        });
+    }
+    Figure {
+        id: id.to_string(),
+        title: title.to_string(),
+        x_label: "write_prob".to_string(),
+        y_label: "throughput (txns/sec)".to_string(),
+        series,
+        runs,
+    }
+}
+
+/// Normalizes a figure's series to one protocol's throughput (the §5.6.1
+/// scale-up presentation: every curve as a fraction of PS-AA).
+pub fn normalize_to(fig: &Figure, reference: Protocol) -> Figure {
+    let reference_points: Vec<(f64, f64)> = fig
+        .series
+        .iter()
+        .find(|s| s.protocol == reference.name())
+        .map(|s| s.points.clone())
+        .expect("reference protocol present");
+    let series = fig
+        .series
+        .iter()
+        .map(|s| Series {
+            protocol: s.protocol.clone(),
+            points: s
+                .points
+                .iter()
+                .zip(&reference_points)
+                .map(|(&(x, y), &(_, r))| (x, if r > 0.0 { y / r } else { 0.0 }))
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: format!("{}-normalized", fig.id),
+        title: format!("{} (normalized to {})", fig.title, reference.name()),
+        x_label: fig.x_label.clone(),
+        y_label: format!("throughput relative to {}", reference.name()),
+        series,
+        runs: Vec::new(),
+    }
+}

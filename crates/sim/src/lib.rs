@@ -1,0 +1,41 @@
+//! # fgs-sim
+//!
+//! A closed-queueing simulator of a page-server OODBMS, reproducing the
+//! system model of Carey, Franklin & Zaharioudakis (SIGMOD 1994), §4: one
+//! server (30 MIPS CPU, 50%-of-DB buffer, two 10–30 ms disks), ten client
+//! workstations (15 MIPS, 25%-of-DB caches), an 80 Mbit/s FIFO network,
+//! and the Table-1 instruction budgets for messages, locks, copies, merges
+//! and I/O initiation.
+//!
+//! The protocol logic is **not** re-implemented here: the simulator drives
+//! the same [`fgs_core`] client/server engines the real `fgs-oodb` engine
+//! uses, charging simulated costs for every action they emit.
+//!
+//! ```no_run
+//! use fgs_sim::{run_point, RunConfig, SystemConfig};
+//! use fgs_core::Protocol;
+//! use fgs_workload::{Locality, WorkloadSpec};
+//!
+//! let m = run_point(
+//!     Protocol::PsAa,
+//!     WorkloadSpec::hotcold(Locality::Low, 0.1),
+//!     &SystemConfig::default(),
+//!     &RunConfig::default(),
+//! );
+//! println!("{}", m.summary());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod buffer;
+mod config;
+mod driver;
+mod experiment;
+mod metrics;
+
+pub use buffer::ServerBuffer;
+pub use config::{RunConfig, SystemConfig};
+pub use driver::Simulator;
+pub use experiment::{normalize_to, run_point, sweep, sweep_probs, WRITE_PROBS};
+pub use metrics::{Figure, RunMetrics, Series};

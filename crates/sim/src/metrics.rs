@@ -1,0 +1,208 @@
+//! Per-run output metrics.
+
+use fgs_core::Protocol;
+use serde::{Deserialize, Serialize};
+
+/// The measured results of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Protocol name ("PS-AA", …).
+    pub protocol: String,
+    /// Workload name ("HOTCOLD", …).
+    pub workload: String,
+    /// Per-object write probability of the run.
+    pub write_prob: f64,
+    /// Committed transactions per second (the paper's primary metric).
+    pub throughput: f64,
+    /// 90% batch-means confidence half-width on the throughput.
+    pub throughput_ci: f64,
+    /// Mean transaction response time in milliseconds (first submission to
+    /// commit, across restarts).
+    pub response_ms: f64,
+    /// Mean latency of a remote object access in milliseconds (request
+    /// sent → grant delivered), which includes server lock waits — the
+    /// paper's "average lock waits" metric.
+    pub remote_access_ms: f64,
+    /// Deadlock restarts per committed transaction (the paper's
+    /// "transaction restart rate").
+    pub restarts_per_commit: f64,
+    /// Committed transactions during the measured period.
+    pub commits: u64,
+    /// Deadlock aborts during the measured period.
+    pub aborts: u64,
+    /// Messages (both directions) per commit.
+    pub msgs_per_commit: f64,
+    /// Server CPU utilization in the measured period.
+    pub server_cpu_util: f64,
+    /// Mean client CPU utilization.
+    pub client_cpu_util: f64,
+    /// Mean disk utilization.
+    pub disk_util: f64,
+    /// Network utilization.
+    pub net_util: f64,
+    /// Server buffer hit rate.
+    pub server_hit_rate: f64,
+    /// Mean client cache hit rate (object accesses served locally).
+    pub client_hit_rate: f64,
+    /// Callback request messages sent by the server.
+    pub callbacks: u64,
+    /// De-escalations performed (PS-AA).
+    pub deescalations: u64,
+    /// Fraction of write grants that were page-level.
+    pub page_grant_frac: f64,
+}
+
+impl RunMetrics {
+    /// A compact single-line summary for experiment logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<7} {:<12} w={:<5.2} tps={:>8.2} ±{:>5.2} resp={:>7.1}ms msgs/c={:>6.1} \
+             srvCPU={:>4.0}% disk={:>4.0}% aborts={}",
+            self.protocol,
+            self.workload,
+            self.write_prob,
+            self.throughput,
+            self.throughput_ci,
+            self.response_ms,
+            self.msgs_per_commit,
+            self.server_cpu_util * 100.0,
+            self.disk_util * 100.0,
+            self.aborts,
+        )
+    }
+}
+
+/// One (protocol, sweep) series for a figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Protocol of this series.
+    pub protocol: String,
+    /// (write probability, throughput) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A complete reproduced figure: several protocol series over one sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure identifier ("fig3", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// All underlying run metrics.
+    pub runs: Vec<RunMetrics>,
+}
+
+impl Figure {
+    /// Renders the figure as an aligned text table (protocols as columns).
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = write!(out, "{:<10}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{:>10}", s.protocol);
+        }
+        out.push('\n');
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.0).collect())
+            .unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            let _ = write!(out, "{x:<10.3}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, "{y:>10.2}");
+                    }
+                    None => {
+                        let _ = write!(out, "{:>10}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The y-value for (protocol, x), if present.
+    pub fn value(&self, protocol: Protocol, x: f64) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.protocol == protocol.name())
+            .and_then(|s| {
+                s.points
+                    .iter()
+                    .find(|p| (p.0 - x).abs() < 1e-9)
+                    .map(|p| p.1)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            protocol: "PS-AA".into(),
+            workload: "HOTCOLD".into(),
+            write_prob: 0.1,
+            throughput: 42.5,
+            throughput_ci: 1.2,
+            response_ms: 230.0,
+            remote_access_ms: 3.5,
+            restarts_per_commit: 0.01,
+            commits: 8_500,
+            aborts: 3,
+            msgs_per_commit: 18.0,
+            server_cpu_util: 0.71,
+            client_cpu_util: 0.30,
+            disk_util: 0.55,
+            net_util: 0.11,
+            server_hit_rate: 0.9,
+            client_hit_rate: 0.8,
+            callbacks: 100,
+            deescalations: 10,
+            page_grant_frac: 0.9,
+        }
+    }
+
+    #[test]
+    fn summary_contains_key_numbers() {
+        let s = metrics().summary();
+        assert!(s.contains("PS-AA") && s.contains("42.50") && s.contains("HOTCOLD"));
+    }
+
+    #[test]
+    fn figure_table_and_lookup() {
+        let fig = Figure {
+            id: "fig3".into(),
+            title: "HOTCOLD, low locality".into(),
+            x_label: "write_prob".into(),
+            y_label: "tps".into(),
+            series: vec![
+                Series {
+                    protocol: "PS".into(),
+                    points: vec![(0.0, 50.0), (0.1, 30.0)],
+                },
+                Series {
+                    protocol: "PS-AA".into(),
+                    points: vec![(0.0, 50.0), (0.1, 40.0)],
+                },
+            ],
+            runs: vec![],
+        };
+        let table = fig.to_table();
+        assert!(table.contains("fig3") && table.contains("PS-AA"));
+        assert_eq!(fig.value(Protocol::PsAa, 0.1), Some(40.0));
+        assert_eq!(fig.value(Protocol::Ps, 0.1), Some(30.0));
+        assert_eq!(fig.value(Protocol::Os, 0.1), None);
+    }
+}

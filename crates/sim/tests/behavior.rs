@@ -1,0 +1,292 @@
+//! Behavioural tests of the simulator: determinism, metric sanity, and
+//! the qualitative relationships the model must exhibit regardless of
+//! parameter details.
+
+use fgs_core::Protocol;
+use fgs_sim::{normalize_to, run_point, sweep_probs, RunConfig, SystemConfig};
+use fgs_workload::{Locality, WorkloadSpec};
+
+fn quick() -> RunConfig {
+    RunConfig {
+        duration: 50.0,
+        warmup: 10.0,
+        batches: 4,
+        seed: 77,
+    }
+}
+
+#[test]
+fn identical_seeds_give_identical_metrics() {
+    let sys = SystemConfig::default();
+    let a = run_point(
+        Protocol::PsAa,
+        WorkloadSpec::hotcold(Locality::Low, 0.1),
+        &sys,
+        &quick(),
+    );
+    let b = run_point(
+        Protocol::PsAa,
+        WorkloadSpec::hotcold(Locality::Low, 0.1),
+        &sys,
+        &quick(),
+    );
+    assert_eq!(a.throughput, b.throughput);
+    assert_eq!(a.commits, b.commits);
+    assert_eq!(a.msgs_per_commit, b.msgs_per_commit);
+    assert_eq!(a.callbacks, b.callbacks);
+}
+
+#[test]
+fn different_seeds_differ_but_agree_statistically() {
+    let sys = SystemConfig::default();
+    let mut run = quick();
+    let a = run_point(
+        Protocol::Ps,
+        WorkloadSpec::hotcold(Locality::Low, 0.05),
+        &sys,
+        &run,
+    );
+    run.seed = 78;
+    let b = run_point(
+        Protocol::Ps,
+        WorkloadSpec::hotcold(Locality::Low, 0.05),
+        &sys,
+        &run,
+    );
+    assert_ne!(a.commits, b.commits, "seeds perturb the run");
+    let diff = (a.throughput - b.throughput).abs();
+    assert!(
+        diff < 0.35 * a.throughput.max(b.throughput),
+        "seeds should not change the story: {} vs {}",
+        a.throughput,
+        b.throughput
+    );
+}
+
+#[test]
+fn utilizations_and_rates_are_sane() {
+    let sys = SystemConfig::default();
+    for protocol in Protocol::ALL {
+        let m = run_point(
+            protocol,
+            WorkloadSpec::uniform(Locality::Low, 0.1),
+            &sys,
+            &quick(),
+        );
+        assert!(m.commits > 50, "{protocol}: too few commits");
+        assert!(m.throughput > 0.0);
+        for (name, v) in [
+            ("server_cpu", m.server_cpu_util),
+            ("client_cpu", m.client_cpu_util),
+            ("disk", m.disk_util),
+            ("net", m.net_util),
+            ("server_hit", m.server_hit_rate),
+            ("client_hit", m.client_hit_rate),
+        ] {
+            assert!((0.0..=1.0 + 1e-9).contains(&v), "{protocol} {name}={v}");
+        }
+        assert!(m.msgs_per_commit > 0.0, "{protocol}: messages happen");
+        assert!(
+            m.response_ms > 0.0 && m.response_ms < 60_000.0,
+            "{protocol}: response {}ms",
+            m.response_ms
+        );
+    }
+}
+
+#[test]
+fn read_only_workload_never_aborts_or_calls_back() {
+    let sys = SystemConfig::default();
+    for protocol in Protocol::ALL {
+        let m = run_point(
+            protocol,
+            WorkloadSpec::hotcold(Locality::Low, 0.0),
+            &sys,
+            &quick(),
+        );
+        assert_eq!(m.aborts, 0, "{protocol}: no writes, no deadlocks");
+        assert_eq!(m.callbacks, 0, "{protocol}: no writes, no callbacks");
+    }
+}
+
+#[test]
+fn private_workload_has_no_contention_for_any_protocol() {
+    let sys = SystemConfig::default();
+    for protocol in Protocol::ALL {
+        let m = run_point(
+            protocol,
+            WorkloadSpec::private(Locality::High, 0.3),
+            &sys,
+            &quick(),
+        );
+        assert_eq!(m.aborts, 0, "{protocol}: PRIVATE is contention-free");
+    }
+}
+
+#[test]
+fn os_sends_most_messages_page_protocols_fewest() {
+    let sys = SystemConfig::default();
+    let run = quick();
+    let spec = || WorkloadSpec::hotcold(Locality::High, 0.1);
+    let os = run_point(Protocol::Os, spec(), &sys, &run);
+    let ps = run_point(Protocol::Ps, spec(), &sys, &run);
+    let oo = run_point(Protocol::PsOo, spec(), &sys, &run);
+    assert!(
+        os.msgs_per_commit > 2.0 * ps.msgs_per_commit,
+        "OS per-object traffic dwarfs PS: {} vs {}",
+        os.msgs_per_commit,
+        ps.msgs_per_commit
+    );
+    assert!(
+        oo.msgs_per_commit > ps.msgs_per_commit,
+        "object-level lock requests cost messages"
+    );
+}
+
+#[test]
+fn psaa_locks_pages_when_alone_objects_under_contention() {
+    let sys = SystemConfig::default();
+    let run = quick();
+    // PRIVATE: no contention — virtually all grants should be page-level.
+    let private = run_point(
+        Protocol::PsAa,
+        WorkloadSpec::private(Locality::High, 0.2),
+        &sys,
+        &run,
+    );
+    assert!(
+        private.page_grant_frac > 0.95,
+        "PS-AA should page-lock under PRIVATE, got {}",
+        private.page_grant_frac
+    );
+    // HICON: heavy sharing — a large share of object grants (and some
+    // de-escalations) must appear.
+    let hicon = run_point(
+        Protocol::PsAa,
+        WorkloadSpec::hicon(Locality::Low, 0.2),
+        &sys,
+        &run,
+    );
+    assert!(
+        hicon.page_grant_frac < private.page_grant_frac,
+        "contention must push PS-AA toward object locks"
+    );
+    assert!(
+        hicon.deescalations > 0,
+        "de-escalation engages under contention"
+    );
+}
+
+#[test]
+fn false_sharing_hurts_ps_but_not_psoo() {
+    // Interleaved PRIVATE: object-disjoint, page-shared. PS must abort /
+    // serialize; PS-OO sails through.
+    let sys = SystemConfig::default();
+    let run = quick();
+    let ps = run_point(
+        Protocol::Ps,
+        WorkloadSpec::interleaved_private(0.2),
+        &sys,
+        &run,
+    );
+    let oo = run_point(
+        Protocol::PsOo,
+        WorkloadSpec::interleaved_private(0.2),
+        &sys,
+        &run,
+    );
+    assert!(
+        oo.throughput > 1.5 * ps.throughput,
+        "object callbacks dodge the ping-pong: {} vs {}",
+        oo.throughput,
+        ps.throughput
+    );
+}
+
+#[test]
+fn higher_write_probability_reduces_throughput() {
+    let sys = SystemConfig::default();
+    let run = quick();
+    for protocol in [Protocol::Ps, Protocol::PsAa] {
+        let lo = run_point(
+            protocol,
+            WorkloadSpec::hotcold(Locality::Low, 0.0),
+            &sys,
+            &run,
+        );
+        let hi = run_point(
+            protocol,
+            WorkloadSpec::hotcold(Locality::Low, 0.3),
+            &sys,
+            &run,
+        );
+        assert!(
+            lo.throughput > hi.throughput,
+            "{protocol}: writes cost work and contention"
+        );
+    }
+}
+
+#[test]
+fn sweep_and_normalize_shapes() {
+    let sys = SystemConfig::default();
+    let run = quick();
+    let fig = sweep_probs(
+        "t",
+        "test sweep",
+        &[Protocol::Ps, Protocol::PsAa],
+        &sys,
+        &run,
+        &[0.0, 0.1],
+        |w| WorkloadSpec::hotcold(Locality::Low, w),
+    );
+    assert_eq!(fig.series.len(), 2);
+    assert_eq!(fig.runs.len(), 4);
+    assert!(fig.value(Protocol::Ps, 0.0).unwrap() > 0.0);
+    let norm = normalize_to(&fig, Protocol::PsAa);
+    for pt in &norm
+        .series
+        .iter()
+        .find(|s| s.protocol == "PS-AA")
+        .unwrap()
+        .points
+    {
+        assert!((pt.1 - 1.0).abs() < 1e-9, "reference normalizes to 1.0");
+    }
+    let table = fig.to_table();
+    assert!(table.contains("PS-AA"));
+}
+
+#[test]
+fn redo_at_server_shifts_load_to_server() {
+    let run = quick();
+    let spec = || WorkloadSpec::hotcold(Locality::High, 0.2);
+    let merge = run_point(Protocol::PsAa, spec(), &SystemConfig::default(), &run);
+    let redo_sys = SystemConfig {
+        redo_at_server: true,
+        ..SystemConfig::default()
+    };
+    let redo = run_point(Protocol::PsAa, spec(), &redo_sys, &run);
+    assert!(
+        redo.server_cpu_util > merge.server_cpu_util,
+        "redo-at-server burdens the server: {} vs {}",
+        redo.server_cpu_util,
+        merge.server_cpu_util
+    );
+}
+
+#[test]
+fn think_time_throttles_throughput() {
+    let spec = || WorkloadSpec::hotcold(Locality::High, 0.0);
+    let run = quick();
+    let busy = run_point(Protocol::Ps, spec(), &SystemConfig::default(), &run);
+    let thinking = SystemConfig {
+        think_time: 1.0,
+        ..SystemConfig::default()
+    };
+    let idle = run_point(Protocol::Ps, spec(), &thinking, &run);
+    assert!(idle.throughput < busy.throughput);
+    // With 10 clients thinking 1s between transactions, throughput is
+    // bounded by 10/(1+resp) < 10 tps.
+    assert!(idle.throughput < 10.0);
+}

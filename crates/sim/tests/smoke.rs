@@ -1,0 +1,21 @@
+use fgs_core::Protocol;
+use fgs_sim::{run_point, RunConfig, SystemConfig};
+use fgs_workload::{Locality, WorkloadSpec};
+
+#[test]
+fn smoke_all_protocols_hotcold() {
+    let sys = SystemConfig::default();
+    let run = RunConfig {
+        duration: 30.0,
+        warmup: 5.0,
+        batches: 5,
+        seed: 42,
+    };
+    for p in Protocol::ALL {
+        let m = run_point(p, WorkloadSpec::hotcold(Locality::Low, 0.1), &sys, &run);
+        println!("{}", m.summary());
+        assert!(m.commits > 0, "{p}: no commits");
+        assert!(m.throughput > 0.0, "{p}");
+        assert!(m.server_cpu_util <= 1.0 + 1e-9 && m.disk_util <= 1.0 + 1e-9);
+    }
+}

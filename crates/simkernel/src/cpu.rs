@@ -1,0 +1,276 @@
+//! A simulated CPU with the two-level scheduling discipline of the paper's
+//! model: *system* requests (locks, message handling, I/O initiation) are
+//! served FIFO with absolute priority, preempting *user* requests, which
+//! share the processor equally (processor sharing).
+//!
+//! The CPU is a passive state machine. The simulation driver owns the event
+//! calendar; after every state change it asks [`Cpu::completion_event`] for
+//! the next completion time and schedules an event carrying the returned
+//! generation number. Stale events (generation mismatch after an intervening
+//! arrival) are ignored by [`Cpu::complete`].
+
+use crate::time::{Duration, SimTime};
+use std::collections::VecDeque;
+
+/// Scheduling class of a CPU request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuClass {
+    /// FIFO, absolute priority over user work (lock ops, messages, I/O setup).
+    System,
+    /// Processor-shared application work (object processing).
+    User,
+}
+
+/// Completion residue below which a job is considered finished, in
+/// instructions. Absorbs floating-point drift between the scheduled
+/// completion time and the depletion arithmetic.
+const EPS_INST: f64 = 1e-3;
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    token: u64,
+    remaining: f64, // instructions
+}
+
+/// A simulated CPU.
+#[derive(Debug)]
+pub struct Cpu {
+    inst_per_sec: f64,
+    system: VecDeque<Job>,
+    user: Vec<Job>,
+    last: SimTime,
+    generation: u64,
+    busy: Duration,
+}
+
+impl Cpu {
+    /// A CPU rated at `mips` million instructions per second.
+    pub fn new(mips: f64) -> Self {
+        assert!(mips > 0.0);
+        Cpu {
+            inst_per_sec: mips * 1e6,
+            system: VecDeque::new(),
+            user: Vec::new(),
+            last: SimTime::ZERO,
+            generation: 0,
+            busy: Duration::ZERO,
+        }
+    }
+
+    /// Submits a request of `inst` instructions. The caller's `token`
+    /// identifies the request when it completes.
+    pub fn submit(&mut self, now: SimTime, token: u64, inst: f64, class: CpuClass) {
+        assert!(inst >= 0.0 && inst.is_finite(), "invalid work: {inst}");
+        self.advance(now);
+        let job = Job {
+            token,
+            remaining: inst,
+        };
+        match class {
+            CpuClass::System => self.system.push_back(job),
+            CpuClass::User => self.user.push(job),
+        }
+        self.generation += 1;
+    }
+
+    /// The `(time, generation)` at which the next request will complete, or
+    /// `None` if the CPU is idle. The driver should schedule a completion
+    /// event at that time carrying the generation.
+    pub fn completion_event(&self, now: SimTime) -> Option<(SimTime, u64)> {
+        debug_assert!(now >= self.last);
+        let secs = if let Some(head) = self.system.front() {
+            head.remaining / self.inst_per_sec
+        } else if !self.user.is_empty() {
+            let min = self
+                .user
+                .iter()
+                .map(|j| j.remaining)
+                .fold(f64::INFINITY, f64::min);
+            min * self.user.len() as f64 / self.inst_per_sec
+        } else {
+            return None;
+        };
+        // Project from `last` (the state snapshot) rather than `now`; they are
+        // equal whenever the driver has just mutated the CPU.
+        Some((self.last + Duration::from_secs(secs), self.generation))
+    }
+
+    /// Handles a completion event scheduled for `(now, generation)`. Returns
+    /// the tokens of all requests that finished, or `None` for a stale
+    /// generation (state untouched — the caller must **not** re-arm, or
+    /// duplicate events multiply).
+    pub fn complete(&mut self, now: SimTime, generation: u64) -> Option<Vec<u64>> {
+        if generation != self.generation {
+            return None;
+        }
+        self.advance(now);
+        let mut done = Vec::new();
+        // Only the head of the system queue has been running.
+        while let Some(head) = self.system.front() {
+            if head.remaining <= EPS_INST {
+                done.push(self.system.pop_front().expect("head exists").token);
+                // Subsequent system jobs have not run yet; stop unless they
+                // are zero-length.
+            } else {
+                break;
+            }
+        }
+        if self.system.is_empty() {
+            let mut i = 0;
+            while i < self.user.len() {
+                if self.user[i].remaining <= EPS_INST {
+                    done.push(self.user.swap_remove(i).token);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.generation += 1;
+        Some(done)
+    }
+
+    /// Total busy time accumulated so far (for utilization metrics). Call
+    /// after the run's final event; includes time up to the last state
+    /// change only.
+    pub fn busy_time(&self) -> Duration {
+        self.busy
+    }
+
+    /// Number of queued/running requests.
+    pub fn load(&self) -> usize {
+        self.system.len() + self.user.len()
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last, "CPU time moved backwards");
+        let elapsed = (now - self.last).as_secs();
+        self.last = now;
+        if elapsed <= 0.0 {
+            return;
+        }
+        let work = elapsed * self.inst_per_sec;
+        if let Some(head) = self.system.front_mut() {
+            // The completion event for the head is always scheduled, so we
+            // can never be asked to advance past its finish time.
+            debug_assert!(
+                head.remaining >= work - 1.0,
+                "advanced past system completion: {} < {}",
+                head.remaining,
+                work
+            );
+            head.remaining = (head.remaining - work).max(0.0);
+            self.busy += Duration::from_secs(elapsed);
+        } else if !self.user.is_empty() {
+            let share = work / self.user.len() as f64;
+            for job in &mut self.user {
+                debug_assert!(job.remaining >= share - 1.0);
+                job.remaining = (job.remaining - share).max(0.0);
+            }
+            self.busy += Duration::from_secs(elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_job_completes_at_rated_speed() {
+        // 1 MIPS CPU, 1e6 instructions => exactly one second.
+        let mut cpu = Cpu::new(1.0);
+        cpu.submit(SimTime::ZERO, 7, 1e6, CpuClass::User);
+        let (t, generation) = cpu.completion_event(SimTime::ZERO).expect("busy");
+        assert!((t.as_secs() - 1.0).abs() < 1e-9);
+        assert_eq!(cpu.complete(t, generation), Some(vec![7]));
+        assert!(cpu.completion_event(t).is_none());
+    }
+
+    #[test]
+    fn processor_sharing_halves_rate() {
+        let mut cpu = Cpu::new(1.0);
+        cpu.submit(SimTime::ZERO, 1, 1e6, CpuClass::User);
+        cpu.submit(SimTime::ZERO, 2, 1e6, CpuClass::User);
+        let (t, generation) = cpu.completion_event(SimTime::ZERO).expect("busy");
+        // Two equal jobs sharing: both finish at 2 seconds.
+        assert!((t.as_secs() - 2.0).abs() < 1e-9);
+        let mut done = cpu.complete(t, generation).expect("current");
+        done.sort_unstable();
+        assert_eq!(done, vec![1, 2]);
+    }
+
+    #[test]
+    fn system_preempts_user() {
+        let mut cpu = Cpu::new(1.0);
+        cpu.submit(SimTime::ZERO, 1, 1e6, CpuClass::User);
+        // At 0.5s a system job arrives; the user job pauses.
+        let (t1, g1) = cpu.completion_event(SimTime::ZERO).expect("busy");
+        assert!((t1.as_secs() - 1.0).abs() < 1e-9);
+        cpu.submit(secs(0.5), 2, 0.25e6, CpuClass::System);
+        assert_eq!(cpu.complete(t1, g1), None, "stale event ignored");
+        let (t2, g2) = cpu.completion_event(secs(0.5)).expect("busy");
+        assert!(
+            (t2.as_secs() - 0.75).abs() < 1e-9,
+            "system finishes at 0.75"
+        );
+        assert_eq!(cpu.complete(t2, g2), Some(vec![2]));
+        let (t3, g3) = cpu.completion_event(t2).expect("busy");
+        // User job had 0.5e6 left, resumes alone: finishes at 1.25s.
+        assert!((t3.as_secs() - 1.25).abs() < 1e-9);
+        assert_eq!(cpu.complete(t3, g3), Some(vec![1]));
+    }
+
+    #[test]
+    fn system_jobs_are_fifo() {
+        let mut cpu = Cpu::new(1.0);
+        cpu.submit(SimTime::ZERO, 1, 1e6, CpuClass::System);
+        cpu.submit(SimTime::ZERO, 2, 1e6, CpuClass::System);
+        let (t, generation) = cpu.completion_event(SimTime::ZERO).expect("busy");
+        assert!((t.as_secs() - 1.0).abs() < 1e-9);
+        assert_eq!(cpu.complete(t, generation), Some(vec![1]));
+        let (t2, g2) = cpu.completion_event(t).expect("busy");
+        assert!((t2.as_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(cpu.complete(t2, g2), Some(vec![2]));
+    }
+
+    #[test]
+    fn unequal_ps_jobs_finish_in_order() {
+        let mut cpu = Cpu::new(1.0);
+        cpu.submit(SimTime::ZERO, 1, 1e6, CpuClass::User);
+        cpu.submit(SimTime::ZERO, 2, 3e6, CpuClass::User);
+        let (t, generation) = cpu.completion_event(SimTime::ZERO).expect("busy");
+        // Short job finishes when it has received 1e6 at half speed: t=2.
+        assert!((t.as_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(cpu.complete(t, generation), Some(vec![1]));
+        let (t2, g2) = cpu.completion_event(t).expect("busy");
+        // Long job has 2e6 left, runs alone: finishes at 4.
+        assert!((t2.as_secs() - 4.0).abs() < 1e-9);
+        assert_eq!(cpu.complete(t2, g2), Some(vec![2]));
+    }
+
+    #[test]
+    fn zero_length_job_completes_immediately() {
+        let mut cpu = Cpu::new(10.0);
+        cpu.submit(secs(1.0), 5, 0.0, CpuClass::System);
+        let (t, generation) = cpu.completion_event(secs(1.0)).expect("busy");
+        assert_eq!(t, secs(1.0));
+        assert_eq!(cpu.complete(t, generation), Some(vec![5]));
+    }
+
+    #[test]
+    fn busy_time_tracks_utilization() {
+        let mut cpu = Cpu::new(1.0);
+        cpu.submit(SimTime::ZERO, 1, 1e6, CpuClass::User);
+        let (t, generation) = cpu.completion_event(SimTime::ZERO).expect("busy");
+        cpu.complete(t, generation);
+        // Idle gap, then another job.
+        cpu.submit(secs(3.0), 2, 1e6, CpuClass::User);
+        let (t2, g2) = cpu.completion_event(secs(3.0)).expect("busy");
+        cpu.complete(t2, g2);
+        assert!((cpu.busy_time().as_secs() - 2.0).abs() < 1e-9);
+    }
+}

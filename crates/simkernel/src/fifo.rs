@@ -1,0 +1,99 @@
+//! Single-server FIFO queues, used for the server disks and the network.
+//!
+//! The paper models each disk as a FIFO queue with uniformly distributed
+//! access times, and the network as a single FIFO server whose service time
+//! is the on-the-wire time of the message (protocol CPU costs are charged at
+//! the endpoints' CPUs).
+
+use crate::time::{Duration, SimTime};
+
+/// A work-conserving single-server FIFO queue.
+///
+/// Because service times are known at submission and the discipline is FIFO,
+/// a request's completion time is determined immediately: requests are never
+/// reordered or cancelled, so no generation counter is needed. The driver
+/// schedules a completion event at the returned time.
+#[derive(Debug, Default)]
+pub struct FifoServer {
+    busy_until: SimTime,
+    busy: Duration,
+    served: u64,
+}
+
+impl FifoServer {
+    /// An idle server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a request requiring `service` time, returning the simulated
+    /// time at which it completes.
+    pub fn submit(&mut self, now: SimTime, service: Duration) -> SimTime {
+        let start = self.busy_until.max(now);
+        let done = start + service;
+        self.busy_until = done;
+        self.busy += service;
+        self.served += 1;
+        done
+    }
+
+    /// Total time spent serving requests (for utilization metrics).
+    pub fn busy_time(&self) -> Duration {
+        self.busy
+    }
+
+    /// Number of requests served (including queued-but-unfinished ones).
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// The time at which the server drains, given no further arrivals.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn dur(s: f64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut s = FifoServer::new();
+        assert_eq!(s.submit(secs(1.0), dur(0.5)), secs(1.5));
+    }
+
+    #[test]
+    fn requests_queue_fifo() {
+        let mut s = FifoServer::new();
+        let a = s.submit(secs(0.0), dur(1.0));
+        let b = s.submit(secs(0.0), dur(1.0));
+        let c = s.submit(secs(0.5), dur(1.0));
+        assert_eq!(a, secs(1.0));
+        assert_eq!(b, secs(2.0));
+        assert_eq!(c, secs(3.0));
+        assert_eq!(s.served(), 3);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_count_as_busy() {
+        let mut s = FifoServer::new();
+        s.submit(secs(0.0), dur(1.0));
+        s.submit(secs(5.0), dur(2.0));
+        assert_eq!(s.busy_time(), dur(3.0));
+        assert_eq!(s.busy_until(), secs(7.0));
+    }
+
+    #[test]
+    fn zero_service_is_instant() {
+        let mut s = FifoServer::new();
+        assert_eq!(s.submit(secs(2.0), Duration::ZERO), secs(2.0));
+    }
+}

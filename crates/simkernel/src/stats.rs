@@ -1,0 +1,231 @@
+//! Output statistics: running tallies, time-weighted averages, and
+//! batch-means confidence intervals.
+//!
+//! The paper reports 90% confidence intervals on response times computed
+//! with the method of batch means; [`BatchMeans`] reproduces that.
+
+use crate::time::SimTime;
+
+/// A running tally of observations (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Tally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance, or 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// A time-weighted average of a piecewise-constant signal, e.g. queue length.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_t: SimTime,
+    last_v: f64,
+    area: f64,
+}
+
+impl TimeWeighted {
+    /// Begins observing at `start` with initial value `v0`.
+    pub fn new(start: SimTime, v0: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_t: start,
+            last_v: v0,
+            area: 0.0,
+        }
+    }
+
+    /// Records that the signal changed to `v` at time `t`.
+    pub fn update(&mut self, t: SimTime, v: f64) {
+        debug_assert!(t >= self.last_t);
+        self.area += (t - self.last_t).as_secs() * self.last_v;
+        self.last_t = t;
+        self.last_v = v;
+    }
+
+    /// The time average over `[start, t]`.
+    pub fn mean(&self, t: SimTime) -> f64 {
+        let span = (t - self.start).as_secs();
+        if span <= 0.0 {
+            return self.last_v;
+        }
+        (self.area + (t - self.last_t).as_secs() * self.last_v) / span
+    }
+}
+
+/// Two-sided 90% Student-t critical values, indexed by degrees of freedom
+/// (1-based up to 30); beyond 30, the normal approximation 1.645 is used.
+const T90: [f64; 30] = [
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771,
+    1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706,
+    1.703, 1.701, 1.699, 1.697,
+];
+
+/// A 90% confidence interval computed with the method of batch means.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Confidence {
+    /// Point estimate (mean of the batch means).
+    pub mean: f64,
+    /// CI half-width; the interval is `mean ± half_width`.
+    pub half_width: f64,
+}
+
+impl Confidence {
+    /// Half-width as a fraction of the mean (the paper checks this is within
+    /// a few percent). Returns infinity for a zero mean.
+    pub fn relative(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Batch-means estimator: the run (after warm-up) is divided into fixed
+/// batches; each batch contributes one observation, and the batch means are
+/// treated as approximately independent.
+#[derive(Debug, Clone, Default)]
+pub struct BatchMeans {
+    batches: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// An empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one batch mean.
+    pub fn record_batch(&mut self, value: f64) {
+        self.batches.push(value);
+    }
+
+    /// Number of batches recorded.
+    pub fn batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// The 90% confidence interval over the recorded batches, or `None` with
+    /// fewer than two batches.
+    pub fn confidence(&self) -> Option<Confidence> {
+        let n = self.batches.len();
+        if n < 2 {
+            return None;
+        }
+        let mut tally = Tally::new();
+        for &b in &self.batches {
+            tally.record(b);
+        }
+        let df = n - 1;
+        let t = if df <= 30 { T90[df - 1] } else { 1.645 };
+        Some(Confidence {
+            mean: tally.mean(),
+            half_width: t * tally.std_dev() / (n as f64).sqrt(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_mean_and_variance() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_empty_is_zero() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.update(SimTime::from_secs(1.0), 10.0); // 0 for [0,1)
+        tw.update(SimTime::from_secs(3.0), 0.0); // 10 for [1,3)
+        let mean = tw.mean(SimTime::from_secs(4.0)); // 0 for [3,4)
+        assert!((mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_means_exact_case() {
+        let mut bm = BatchMeans::new();
+        for v in [10.0, 12.0, 11.0, 9.0, 13.0] {
+            bm.record_batch(v);
+        }
+        let ci = bm.confidence().expect("5 batches");
+        assert!((ci.mean - 11.0).abs() < 1e-12);
+        // s = sqrt(2.5), hw = 2.132 * s / sqrt(5)
+        let expect = 2.132 * 2.5f64.sqrt() / 5f64.sqrt();
+        assert!((ci.half_width - expect).abs() < 1e-9);
+        assert!(ci.relative() > 0.0);
+    }
+
+    #[test]
+    fn batch_means_needs_two() {
+        let mut bm = BatchMeans::new();
+        assert!(bm.confidence().is_none());
+        bm.record_batch(1.0);
+        assert!(bm.confidence().is_none());
+        bm.record_batch(1.0);
+        let ci = bm.confidence().expect("two batches");
+        assert_eq!(ci.half_width, 0.0);
+    }
+
+    #[test]
+    fn confidence_relative_of_zero_mean() {
+        let c = Confidence {
+            mean: 0.0,
+            half_width: 1.0,
+        };
+        assert!(c.relative().is_infinite());
+    }
+}

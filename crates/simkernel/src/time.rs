@@ -1,0 +1,204 @@
+//! Simulated time.
+//!
+//! Time is measured in seconds as an `f64`. All arithmetic performed on
+//! [`SimTime`] values is deterministic, so simulation runs are exactly
+//! reproducible for a given seed.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since the start of the run.
+///
+/// `SimTime` is totally ordered; the event calendar additionally breaks ties
+/// with a FIFO sequence number so that simultaneous events fire in schedule
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from seconds. Panics if `secs` is negative or NaN.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs >= 0.0 && secs.is_finite(), "invalid SimTime: {secs}");
+        SimTime(secs)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms / 1_000.0)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us / 1_000_000.0)
+    }
+
+    /// This time as fractional seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// This time as fractional milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1_000.0
+    }
+
+    /// Saturating difference: `self - other`, or zero if `other` is later.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> Duration {
+        Duration::from_secs((self.0 - other.0).max(0.0))
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // SimTime is never NaN by construction, so partial_cmp always succeeds.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+/// A span of simulated time, in seconds. Always non-negative and finite.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Duration(f64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0.0);
+
+    /// Creates a duration from seconds. Panics if negative or non-finite.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs >= 0.0 && secs.is_finite(), "invalid Duration: {secs}");
+        Duration(secs)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms / 1_000.0)
+    }
+
+    /// This duration as fractional seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for Duration {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Duration {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("Duration is never NaN")
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    /// Panics (in debug builds) if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "negative duration: {} - {}", self.0, rhs.0);
+        Duration((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_millis(1500.0);
+        assert_eq!(t.as_secs(), 1.5);
+        let t2 = t + Duration::from_secs(0.5);
+        assert_eq!(t2.as_secs(), 2.0);
+        assert_eq!((t2 - t).as_secs(), 0.5);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a.saturating_sub(b), Duration::ZERO);
+        assert_eq!(b.saturating_sub(a).as_secs(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimTime")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|&s| Duration::from_secs(s))
+            .sum();
+        assert_eq!(total.as_secs(), 6.0);
+    }
+}

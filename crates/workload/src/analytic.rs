@@ -1,0 +1,47 @@
+//! Analytic helpers for interpreting the experiments.
+
+/// The per-page update probability induced by a per-object update
+/// probability (Figure 5 of the paper).
+///
+/// A transaction that accesses `objects_per_page` objects on a page, each
+/// updating with probability `object_write_prob`, updates the page with
+/// probability `1 − (1 − w)^k`. This is what makes page-level locking
+/// contention grow so much faster than object-level contention.
+pub fn page_write_prob(object_write_prob: f64, objects_per_page: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&object_write_prob));
+    assert!(objects_per_page >= 0.0);
+    1.0 - (1.0 - object_write_prob).powf(objects_per_page)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(page_write_prob(0.0, 4.0), 0.0);
+        assert_eq!(page_write_prob(1.0, 4.0), 1.0);
+        assert_eq!(page_write_prob(0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn matches_figure_5_shape() {
+        // At locality 12 the page write probability saturates early (the
+        // "topmost curve" the paper uses to explain HICON).
+        let high = page_write_prob(0.2, 12.0);
+        assert!(high > 0.9, "locality 12, w=0.2 → {high}");
+        // At locality 4 it grows "rather rapidly" but less extremely.
+        let mid = page_write_prob(0.2, 4.0);
+        assert!((0.55..0.65).contains(&mid), "locality 4, w=0.2 → {mid}");
+        // Monotone in both arguments.
+        assert!(page_write_prob(0.1, 4.0) < page_write_prob(0.2, 4.0));
+        assert!(page_write_prob(0.1, 4.0) < page_write_prob(0.1, 12.0));
+    }
+
+    #[test]
+    fn single_object_is_identity() {
+        for w in [0.0, 0.1, 0.5, 0.9] {
+            assert!((page_write_prob(w, 1.0) - w).abs() < 1e-12);
+        }
+    }
+}

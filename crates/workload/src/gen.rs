@@ -1,0 +1,296 @@
+//! Transaction reference-string generation.
+//!
+//! A transaction is a string of object references — reads, some of which
+//! also update the object. Pages are chosen without replacement (footnote
+//! 4), with the hot/cold split and write probabilities of the workload
+//! spec; each chosen page contributes a uniformly drawn number of distinct
+//! objects (the page locality).
+
+use crate::spec::{AccessPattern, WorkloadSpec};
+use fgs_core::{Oid, PageId};
+use fgs_simkernel::Pcg32;
+
+/// One object reference in a transaction's string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRef {
+    /// The object referenced.
+    pub oid: Oid,
+    /// Whether the read is followed by an update of the object.
+    pub write: bool,
+}
+
+/// A generated transaction: its ordered reference string.
+pub type ReferenceString = Vec<AccessRef>;
+
+/// Generates reference strings for one system configuration.
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    spec: WorkloadSpec,
+    n_clients: u16,
+}
+
+impl WorkloadGen {
+    /// Creates a generator; validates the spec against the client count.
+    pub fn new(spec: WorkloadSpec, n_clients: u16) -> Self {
+        assert!(n_clients > 0);
+        spec.validate(n_clients);
+        WorkloadGen { spec, n_clients }
+    }
+
+    /// The spec being generated.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Number of clients in the modelled system.
+    pub fn n_clients(&self) -> u16 {
+        self.n_clients
+    }
+
+    /// Generates one transaction for `client`, drawing randomness from
+    /// `rng` (callers keep one RNG stream per client for reproducibility).
+    pub fn gen_transaction(&self, client: u16, rng: &mut Pcg32) -> ReferenceString {
+        let spec = &self.spec;
+        let n_pages = spec.trans_size_pages as usize;
+        // Pages without replacement: draw (hot? then where) until distinct.
+        let mut pages: Vec<u32> = Vec::with_capacity(n_pages);
+        let hot = spec.hot_range(client, self.n_clients);
+        let cold = spec.cold_range();
+        let mut guard = 0u32;
+        while pages.len() < n_pages {
+            let go_hot = hot.is_some() && rng.chance(spec.hot_access_prob);
+            let page = if let (true, Some((lo, hi))) = (go_hot, hot) {
+                lo + rng.below(hi - lo)
+            } else {
+                cold.0 + rng.below(cold.1 - cold.0)
+            };
+            if !pages.contains(&page) {
+                pages.push(page);
+            }
+            guard += 1;
+            assert!(
+                guard < 100_000,
+                "cannot draw {n_pages} distinct pages from this workload"
+            );
+        }
+        // Objects per page, with write marks.
+        let (lo, hi) = spec.page_locality;
+        let mut per_page: Vec<Vec<AccessRef>> = Vec::with_capacity(n_pages);
+        for &page in &pages {
+            let k = rng.range_inclusive(u32::from(lo), u32::from(hi)) as usize;
+            let slots = rng.sample_without_replacement(spec.objects_per_page as usize, k);
+            let write_prob = if spec.is_hot(client, self.n_clients, page) {
+                spec.hot_write_prob
+            } else {
+                spec.cold_write_prob
+            };
+            let refs = slots
+                .into_iter()
+                .map(|slot| {
+                    let mut oid = Oid::new(PageId(page), slot as u16);
+                    if let Some(remap) = &spec.remap {
+                        oid = remap.remap(self.n_clients, oid);
+                    }
+                    AccessRef {
+                        oid,
+                        write: rng.chance(write_prob),
+                    }
+                })
+                .collect();
+            per_page.push(refs);
+        }
+        match spec.access_pattern {
+            AccessPattern::Clustered => per_page.into_iter().flatten().collect(),
+            AccessPattern::Unclustered => {
+                let mut all: Vec<AccessRef> = per_page.into_iter().flatten().collect();
+                rng.shuffle(&mut all);
+                all
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Locality, WorkloadSpec};
+    use std::collections::HashSet;
+
+    fn rng() -> Pcg32 {
+        Pcg32::new(42, 7)
+    }
+
+    #[test]
+    fn transaction_page_counts_match_spec() {
+        let gen = WorkloadGen::new(WorkloadSpec::hotcold(Locality::Low, 0.2), 10);
+        let mut r = rng();
+        for _ in 0..50 {
+            let t = gen.gen_transaction(3, &mut r);
+            let pages: HashSet<u32> = t.iter().map(|a| a.oid.page.0).collect();
+            assert_eq!(pages.len(), 30, "30 distinct pages at low locality");
+            for a in &t {
+                assert!(a.oid.slot < 20);
+                assert!(a.oid.page.0 < 1250);
+            }
+        }
+    }
+
+    #[test]
+    fn locality_bounds_respected() {
+        let gen = WorkloadGen::new(WorkloadSpec::uniform(Locality::High, 0.0), 10);
+        let mut r = rng();
+        let t = gen.gen_transaction(0, &mut r);
+        let mut per_page: std::collections::HashMap<u32, HashSet<u16>> = Default::default();
+        for a in &t {
+            per_page.entry(a.oid.page.0).or_default().insert(a.oid.slot);
+        }
+        for (_, slots) in per_page {
+            assert!((8..=16).contains(&slots.len()), "high locality is 8–16");
+        }
+    }
+
+    #[test]
+    fn average_transaction_length_near_120() {
+        let gen = WorkloadGen::new(WorkloadSpec::hotcold(Locality::High, 0.0), 10);
+        let mut r = rng();
+        let total: usize = (0..200).map(|_| gen.gen_transaction(1, &mut r).len()).sum();
+        let avg = total as f64 / 200.0;
+        assert!((avg - 120.0).abs() < 5.0, "avg {avg} should be ≈120");
+    }
+
+    #[test]
+    fn hotcold_skew_is_roughly_80_20() {
+        let spec = WorkloadSpec::hotcold(Locality::Low, 0.0);
+        let gen = WorkloadGen::new(spec, 10);
+        let mut r = rng();
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for _ in 0..100 {
+            for a in gen.gen_transaction(2, &mut r) {
+                total += 1;
+                if (100..150).contains(&a.oid.page.0) {
+                    hot += 1;
+                }
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        // 80% of page draws target the hot range, but drawing 30 distinct
+        // pages rejects many duplicate hot draws (only 50 hot pages), so
+        // the realized hot fraction sits somewhat below 0.80.
+        assert!((0.70..=0.86).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn write_probability_honored() {
+        let gen = WorkloadGen::new(WorkloadSpec::uniform(Locality::High, 0.25), 10);
+        let mut r = rng();
+        let mut writes = 0usize;
+        let mut total = 0usize;
+        for _ in 0..100 {
+            for a in gen.gen_transaction(0, &mut r) {
+                total += 1;
+                writes += a.write as usize;
+            }
+        }
+        let frac = writes as f64 / total as f64;
+        assert!((frac - 0.25).abs() < 0.03, "write fraction {frac}");
+    }
+
+    #[test]
+    fn private_never_writes_cold() {
+        let gen = WorkloadGen::new(WorkloadSpec::private(Locality::High, 1.0), 10);
+        let mut r = rng();
+        for _ in 0..50 {
+            for a in gen.gen_transaction(4, &mut r) {
+                let hot = (100..125).contains(&a.oid.page.0);
+                if a.write {
+                    assert!(hot, "writes only in the private hot region");
+                } else {
+                    assert!(hot || a.oid.page.0 >= 625, "cold is second half");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn private_clients_never_share_writable_pages() {
+        let gen = WorkloadGen::new(WorkloadSpec::private(Locality::High, 1.0), 10);
+        let mut r = rng();
+        let mut hot_pages: Vec<HashSet<u32>> = vec![HashSet::new(); 10];
+        for c in 0..10u16 {
+            for _ in 0..20 {
+                for a in gen.gen_transaction(c, &mut r) {
+                    if a.write {
+                        hot_pages[c as usize].insert(a.oid.page.0);
+                    }
+                }
+            }
+        }
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert!(
+                    hot_pages[i].is_disjoint(&hot_pages[j]),
+                    "clients {i} and {j} share writable pages"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_private_shares_pages_but_not_objects() {
+        let gen = WorkloadGen::new(WorkloadSpec::interleaved_private(1.0), 10);
+        let mut r = rng();
+        let mut objs: Vec<HashSet<Oid>> = vec![HashSet::new(); 2];
+        let mut pages: Vec<HashSet<u32>> = vec![HashSet::new(); 2];
+        for c in 0..2u16 {
+            for _ in 0..30 {
+                for a in gen.gen_transaction(c, &mut r) {
+                    if a.write {
+                        objs[c as usize].insert(a.oid);
+                        pages[c as usize].insert(a.oid.page.0);
+                    }
+                }
+            }
+        }
+        assert!(objs[0].is_disjoint(&objs[1]), "no object-level contention");
+        assert!(
+            pages[0].intersection(&pages[1]).count() > 0,
+            "heavy page-level false sharing"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let gen = WorkloadGen::new(WorkloadSpec::hicon(Locality::Low, 0.2), 10);
+        let a = gen.gen_transaction(5, &mut Pcg32::new(9, 1));
+        let b = gen.gen_transaction(5, &mut Pcg32::new(9, 1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clustered_pattern_groups_pages() {
+        let mut spec = WorkloadSpec::uniform(Locality::High, 0.0);
+        spec.access_pattern = AccessPattern::Clustered;
+        let gen = WorkloadGen::new(spec, 10);
+        let t = gen.gen_transaction(0, &mut rng());
+        // Page ids appear in contiguous runs.
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut last = None;
+        for a in &t {
+            let p = a.oid.page.0;
+            if last != Some(p) {
+                assert!(seen.insert(p), "page {p} appears in two runs");
+                last = Some(p);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_workload_generates_in_range() {
+        let gen = WorkloadGen::new(WorkloadSpec::hotcold(Locality::Low, 0.1).scaled(9, 3), 10);
+        let t = gen.gen_transaction(0, &mut rng());
+        let pages: HashSet<u32> = t.iter().map(|a| a.oid.page.0).collect();
+        assert_eq!(pages.len(), 90);
+        assert!(t.iter().all(|a| a.oid.page.0 < 11_250));
+    }
+}

@@ -1,0 +1,142 @@
+//! The Interleaved PRIVATE object remapping (§5.5).
+//!
+//! The paper builds its extreme false-sharing workload by "interchanging
+//! objects between pairs of database pages spaced at 25-page intervals so
+//! that the hot regions of clients are combined in a pairwise fashion":
+//! after the remap, the hot objects of client *2k* occupy the top half of
+//! every page in the pair's combined 50-page region, and client *2k+1*'s
+//! hot objects occupy the bottom half. Transactions keep accessing the
+//! same logical objects — only their physical placement changes, so a
+//! PRIVATE transaction of 10 pages × ~12 objects becomes roughly 20 pages
+//! × ~6 objects, with *zero* object-level contention but heavy page-level
+//! false sharing.
+
+use fgs_core::{Oid, PageId};
+
+/// Remaps PRIVATE hot-region objects into pairwise-interleaved pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterleaveRemap {
+    hot_pages_per_client: u32,
+    objects_per_page: u16,
+}
+
+impl InterleaveRemap {
+    /// Creates the remap for `hot_pages_per_client`-page hot regions and
+    /// `objects_per_page` objects per page. `objects_per_page` must be
+    /// even (half a page per client).
+    pub fn new(hot_pages_per_client: u32, objects_per_page: u16) -> Self {
+        assert!(objects_per_page % 2 == 0, "needs an even split per page");
+        InterleaveRemap {
+            hot_pages_per_client,
+            objects_per_page,
+        }
+    }
+
+    /// Remaps one object. Objects outside the paired hot regions (the cold
+    /// half of the database, or an unpaired trailing client's region) are
+    /// returned unchanged.
+    pub fn remap(&self, n_clients: u16, oid: Oid) -> Oid {
+        let hp = self.hot_pages_per_client;
+        let opp = u32::from(self.objects_per_page);
+        let page = oid.page.0;
+        let owner = page / hp;
+        if owner >= u32::from(n_clients) {
+            return oid; // cold region
+        }
+        let pair = owner / 2;
+        if 2 * pair + 1 >= u32::from(n_clients) {
+            return oid; // unpaired trailing client
+        }
+        let base = 2 * pair * hp; // first page of the combined region
+        let within = page - owner * hp; // page index inside own hot region
+        let j = within * opp + u32::from(oid.slot); // linear object index
+        let combined_pages = 2 * hp;
+        let new_page = base + j % combined_pages;
+        let half = opp / 2;
+        let new_slot = j / combined_pages + if owner % 2 == 1 { half } else { 0 };
+        debug_assert!(new_slot < opp);
+        Oid::new(PageId(new_page), new_slot as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    const HP: u32 = 25;
+    const OPP: u16 = 20;
+
+    fn remap() -> InterleaveRemap {
+        InterleaveRemap::new(HP, OPP)
+    }
+
+    fn all_hot_oids(client: u32) -> Vec<Oid> {
+        let mut v = Vec::new();
+        for p in client * HP..(client + 1) * HP {
+            for s in 0..OPP {
+                v.push(Oid::new(PageId(p), s));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn remap_is_a_bijection_on_the_pair_region() {
+        let r = remap();
+        let mut seen = HashSet::new();
+        for client in [0u32, 1] {
+            for o in all_hot_oids(client) {
+                let m = r.remap(10, o);
+                assert!(seen.insert(m), "collision at {m}");
+                assert!((0..2 * HP).contains(&m.page.0), "stays in pair region");
+            }
+        }
+        assert_eq!(seen.len(), 2 * HP as usize * OPP as usize);
+    }
+
+    #[test]
+    fn even_client_gets_top_half_odd_gets_bottom() {
+        let r = remap();
+        for o in all_hot_oids(0) {
+            assert!(r.remap(10, o).slot < OPP / 2, "client 0 → top half");
+        }
+        for o in all_hot_oids(1) {
+            assert!(r.remap(10, o).slot >= OPP / 2, "client 1 → bottom half");
+        }
+    }
+
+    #[test]
+    fn each_client_spreads_over_all_pair_pages() {
+        let r = remap();
+        let pages: HashSet<u32> = all_hot_oids(0)
+            .into_iter()
+            .map(|o| r.remap(10, o).page.0)
+            .collect();
+        assert_eq!(pages.len(), 2 * HP as usize, "spread over 50 pages");
+    }
+
+    #[test]
+    fn cold_region_untouched() {
+        let r = remap();
+        let cold = Oid::new(PageId(700), 3);
+        assert_eq!(r.remap(10, cold), cold);
+    }
+
+    #[test]
+    fn unpaired_trailing_client_untouched() {
+        let r = remap();
+        // With 3 clients, client 2 has no partner.
+        let o = Oid::new(PageId(2 * HP + 1), 5);
+        assert_eq!(r.remap(3, o), o);
+    }
+
+    #[test]
+    fn later_pairs_use_their_own_region() {
+        let r = remap();
+        for o in all_hot_oids(4) {
+            let m = r.remap(10, o);
+            assert!((4 * HP..6 * HP).contains(&m.page.0));
+        }
+    }
+}

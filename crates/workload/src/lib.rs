@@ -1,0 +1,37 @@
+//! # fgs-workload
+//!
+//! Synthetic workload generators reproducing Table 2 of Carey, Franklin &
+//! Zaharioudakis (SIGMOD 1994): the HOTCOLD, UNIFORM, HICON and PRIVATE
+//! client data-sharing patterns, the Interleaved PRIVATE false-sharing
+//! variant, and the transaction reference-string model (pages without
+//! replacement, per-page object locality, hot/cold write probabilities).
+//!
+//! ```
+//! use fgs_workload::{Locality, WorkloadGen, WorkloadSpec};
+//! use fgs_simkernel::Pcg32;
+//!
+//! let spec = WorkloadSpec::hotcold(Locality::Low, 0.1);
+//! let gen = WorkloadGen::new(spec, 10);
+//! let mut rng = Pcg32::new(1, 0);
+//! let txn = gen.gen_transaction(0, &mut rng);
+//! assert_eq!(
+//!     txn.iter().map(|a| a.oid.page).collect::<std::collections::HashSet<_>>().len(),
+//!     30, // 30 distinct pages at low locality
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analytic;
+mod gen;
+mod interleave;
+mod spec;
+
+pub use analytic::page_write_prob;
+pub use gen::{AccessRef, ReferenceString, WorkloadGen};
+pub use interleave::InterleaveRemap;
+pub use spec::{
+    AccessPattern, ColdRange, HotRange, Locality, WorkloadSpec, DB_PAGES, HOT_ACCESS_PROB,
+    HOT_PAGES, OBJECTS_PER_PAGE, PRIVATE_HOT_PAGES,
+};

@@ -1,0 +1,397 @@
+//! Workload specifications (the paper's Table 2).
+//!
+//! The surviving text of the paper describes the workloads in prose; exact
+//! cell values of Table 2 are reconstructed from that prose and from the
+//! companion studies [Care91, Fran92a, Fran93] that used the same
+//! simulator. The reconstruction is recorded here as documented defaults:
+//!
+//! * **HOTCOLD** — per-client 50-page hot regions, 80% of accesses hot,
+//!   20% to the whole database; updates equally likely in both regions.
+//! * **UNIFORM** — no skew; uniform accesses over the whole database.
+//! * **HICON** — one 50-page hot region *shared by all clients*, 80% of
+//!   accesses hot: very high data contention.
+//! * **PRIVATE** — per-client private 25-page hot regions (the only place
+//!   updates happen) plus a shared read-only cold half of the database.
+//! * **Interleaved PRIVATE** — PRIVATE transactions remapped so that pairs
+//!   of clients' hot objects share pages (extreme false sharing, §5.5).
+
+use crate::interleave::InterleaveRemap;
+
+/// Transaction size / page locality pairs used throughout the study. Both
+/// settings access 120 objects per transaction on average.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Locality {
+    /// 30 pages per transaction, 1–7 objects per page (average 4).
+    Low,
+    /// 10 pages per transaction, 8–16 objects per page (average 12).
+    High,
+}
+
+impl Locality {
+    /// (transaction size in pages, (min, max) objects per page).
+    pub fn params(self) -> (u32, (u16, u16)) {
+        match self {
+            Locality::Low => (30, (1, 7)),
+            Locality::High => (10, (8, 16)),
+        }
+    }
+
+    /// Average objects accessed per page.
+    pub fn avg_objects_per_page(self) -> f64 {
+        let (_, (lo, hi)) = self.params();
+        f64::from(lo + hi) / 2.0
+    }
+}
+
+/// Where a client's hot range lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotRange {
+    /// No hot range: all accesses are "cold" (UNIFORM).
+    None,
+    /// Client `c` owns pages `[c·n, (c+1)·n)`.
+    PerClient {
+        /// Pages per client.
+        pages: u32,
+    },
+    /// The first `n` pages, shared by every client (HICON).
+    Shared {
+        /// Pages in the shared hot region.
+        pages: u32,
+    },
+}
+
+/// Where cold (non-hot) accesses go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColdRange {
+    /// Uniform over the whole database (HOTCOLD, HICON).
+    WholeDb,
+    /// Uniform over the second half of the database (PRIVATE's shared
+    /// read-only region).
+    SecondHalf,
+}
+
+/// How a transaction's object references are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// References to objects on different pages may be interleaved
+    /// (the study's default).
+    Unclustered,
+    /// All referenced objects of a page are referenced together.
+    Clustered,
+}
+
+/// A complete workload description for one experiment.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Display name ("HOTCOLD", …).
+    pub name: &'static str,
+    /// Database size in pages.
+    pub db_pages: u32,
+    /// Objects per page.
+    pub objects_per_page: u16,
+    /// Pages accessed per transaction.
+    pub trans_size_pages: u32,
+    /// Inclusive range of objects accessed per page.
+    pub page_locality: (u16, u16),
+    /// Reference ordering.
+    pub access_pattern: AccessPattern,
+    /// Hot-range shape.
+    pub hot: HotRange,
+    /// Probability that a page access goes to the hot range.
+    pub hot_access_prob: f64,
+    /// Probability that an object read in the hot range also updates it.
+    pub hot_write_prob: f64,
+    /// Probability that an object read in the cold range also updates it.
+    pub cold_write_prob: f64,
+    /// Cold-range shape.
+    pub cold: ColdRange,
+    /// Post-generation remap (Interleaved PRIVATE).
+    pub remap: Option<InterleaveRemap>,
+}
+
+/// Default database size in pages (5 MB of 4 KB pages).
+pub const DB_PAGES: u32 = 1250;
+/// Default objects per page.
+pub const OBJECTS_PER_PAGE: u16 = 20;
+/// Hot region size per client for HOTCOLD, and the shared HICON region.
+pub const HOT_PAGES: u32 = 50;
+/// Hot region size per client for PRIVATE (footnote 4 of the paper).
+pub const PRIVATE_HOT_PAGES: u32 = 25;
+/// Fraction of accesses directed at the hot range.
+pub const HOT_ACCESS_PROB: f64 = 0.8;
+
+impl WorkloadSpec {
+    /// The HOTCOLD workload: high per-client locality, moderate sharing.
+    pub fn hotcold(locality: Locality, write_prob: f64) -> Self {
+        let (trans, range) = locality.params();
+        WorkloadSpec {
+            name: "HOTCOLD",
+            db_pages: DB_PAGES,
+            objects_per_page: OBJECTS_PER_PAGE,
+            trans_size_pages: trans,
+            page_locality: range,
+            access_pattern: AccessPattern::Unclustered,
+            hot: HotRange::PerClient { pages: HOT_PAGES },
+            hot_access_prob: HOT_ACCESS_PROB,
+            hot_write_prob: write_prob,
+            cold_write_prob: write_prob,
+            cold: ColdRange::WholeDb,
+            remap: None,
+        }
+    }
+
+    /// The UNIFORM workload: no skew, higher inter-client contention.
+    pub fn uniform(locality: Locality, write_prob: f64) -> Self {
+        let (trans, range) = locality.params();
+        WorkloadSpec {
+            name: "UNIFORM",
+            db_pages: DB_PAGES,
+            objects_per_page: OBJECTS_PER_PAGE,
+            trans_size_pages: trans,
+            page_locality: range,
+            access_pattern: AccessPattern::Unclustered,
+            hot: HotRange::None,
+            hot_access_prob: 0.0,
+            hot_write_prob: write_prob,
+            cold_write_prob: write_prob,
+            cold: ColdRange::WholeDb,
+            remap: None,
+        }
+    }
+
+    /// The HICON workload: one shared skew target, very high contention.
+    pub fn hicon(locality: Locality, write_prob: f64) -> Self {
+        let (trans, range) = locality.params();
+        WorkloadSpec {
+            name: "HICON",
+            db_pages: DB_PAGES,
+            objects_per_page: OBJECTS_PER_PAGE,
+            trans_size_pages: trans,
+            page_locality: range,
+            access_pattern: AccessPattern::Unclustered,
+            hot: HotRange::Shared { pages: HOT_PAGES },
+            hot_access_prob: HOT_ACCESS_PROB,
+            hot_write_prob: write_prob,
+            cold_write_prob: write_prob,
+            cold: ColdRange::WholeDb,
+            remap: None,
+        }
+    }
+
+    /// The PRIVATE workload: CAD-like, zero data contention. Only the high
+    /// page-locality setting fits the 25-page hot regions (footnote 4);
+    /// panics on `Locality::Low`.
+    pub fn private(locality: Locality, write_prob: f64) -> Self {
+        assert!(
+            locality == Locality::High,
+            "PRIVATE requires the high-locality setting (25-page hot \
+             regions cannot supply 30 distinct pages); use \
+             `private_low_variant` for the footnote-6 alternative"
+        );
+        let (trans, range) = locality.params();
+        Self::private_inner(trans, range, write_prob)
+    }
+
+    /// The footnote-6 alternative PRIVATE setting: 13 pages per
+    /// transaction with an average locality of 8 (range 4–12).
+    pub fn private_low_variant(write_prob: f64) -> Self {
+        Self::private_inner(13, (4, 12), write_prob)
+    }
+
+    fn private_inner(trans: u32, range: (u16, u16), write_prob: f64) -> Self {
+        WorkloadSpec {
+            name: "PRIVATE",
+            db_pages: DB_PAGES,
+            objects_per_page: OBJECTS_PER_PAGE,
+            trans_size_pages: trans,
+            page_locality: range,
+            access_pattern: AccessPattern::Unclustered,
+            hot: HotRange::PerClient {
+                pages: PRIVATE_HOT_PAGES,
+            },
+            hot_access_prob: HOT_ACCESS_PROB,
+            hot_write_prob: write_prob,
+            cold_write_prob: 0.0,
+            cold: ColdRange::SecondHalf,
+            remap: None,
+        }
+    }
+
+    /// Interleaved PRIVATE: PRIVATE with pairs of clients' hot objects
+    /// interleaved onto shared pages — extreme false sharing with zero
+    /// object-level contention (§5.5).
+    pub fn interleaved_private(write_prob: f64) -> Self {
+        let mut spec = Self::private(Locality::High, write_prob);
+        spec.name = "INTERLEAVED-PRIVATE";
+        spec.remap = Some(InterleaveRemap::new(PRIVATE_HOT_PAGES, OBJECTS_PER_PAGE));
+        spec
+    }
+
+    /// Scales the system for the §5.6.1 scale-up experiments: the database
+    /// and hot regions grow by `db_factor`, transactions by `trans_factor`.
+    ///
+    /// Hot regions scale with the database so that skew fractions are
+    /// preserved; with `db_factor = 9` and `trans_factor = 3`, Tay's
+    /// contention measure (∝ transaction-size² / region-size) is exactly
+    /// re-established, as the paper describes.
+    pub fn scaled(mut self, db_factor: u32, trans_factor: u32) -> Self {
+        self.db_pages *= db_factor;
+        self.trans_size_pages *= trans_factor;
+        self.hot = match self.hot {
+            HotRange::None => HotRange::None,
+            HotRange::PerClient { pages } => HotRange::PerClient {
+                pages: pages * db_factor,
+            },
+            HotRange::Shared { pages } => HotRange::Shared {
+                pages: pages * db_factor,
+            },
+        };
+        self
+    }
+
+    /// Average objects accessed per transaction.
+    pub fn avg_objects_per_txn(&self) -> f64 {
+        let (lo, hi) = self.page_locality;
+        self.trans_size_pages as f64 * f64::from(lo + hi) / 2.0
+    }
+
+    /// The half-open page range of `client`'s hot region, if any.
+    pub fn hot_range(&self, client: u16, n_clients: u16) -> Option<(u32, u32)> {
+        match self.hot {
+            HotRange::None => None,
+            HotRange::PerClient { pages } => {
+                let start = u32::from(client) * pages;
+                debug_assert!(
+                    u32::from(n_clients) * pages <= self.db_pages,
+                    "hot regions exceed the database"
+                );
+                Some((start, start + pages))
+            }
+            HotRange::Shared { pages } => Some((0, pages)),
+        }
+    }
+
+    /// The half-open page range cold accesses draw from.
+    pub fn cold_range(&self) -> (u32, u32) {
+        match self.cold {
+            ColdRange::WholeDb => (0, self.db_pages),
+            ColdRange::SecondHalf => (self.db_pages / 2, self.db_pages),
+        }
+    }
+
+    /// Whether `page` falls in `client`'s hot range.
+    pub fn is_hot(&self, client: u16, n_clients: u16, page: u32) -> bool {
+        self.hot_range(client, n_clients)
+            .is_some_and(|(lo, hi)| (lo..hi).contains(&page))
+    }
+
+    /// Basic sanity checks; panics with a message on a malformed spec.
+    pub fn validate(&self, n_clients: u16) {
+        assert!(self.db_pages > 0 && self.objects_per_page > 0);
+        let (lo, hi) = self.page_locality;
+        assert!(lo >= 1 && lo <= hi && hi <= self.objects_per_page);
+        assert!((0.0..=1.0).contains(&self.hot_access_prob));
+        assert!((0.0..=1.0).contains(&self.hot_write_prob));
+        assert!((0.0..=1.0).contains(&self.cold_write_prob));
+        if let Some((_, hi_page)) = self.hot_range(n_clients - 1, n_clients) {
+            assert!(hi_page <= self.db_pages, "hot ranges exceed database");
+            if let HotRange::PerClient { pages } = self.hot {
+                assert!(
+                    self.trans_size_pages <= pages + (self.db_pages as f64 * 0.5) as u32,
+                    "transaction too large for hot+cold page supply"
+                );
+            }
+        }
+        let cold = self.cold_range();
+        assert!(cold.0 < cold.1 && cold.1 <= self.db_pages);
+        assert!(
+            self.trans_size_pages <= self.db_pages,
+            "transaction larger than database"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_localities_access_120_objects() {
+        for loc in [Locality::Low, Locality::High] {
+            let spec = WorkloadSpec::hotcold(loc, 0.1);
+            assert_eq!(spec.avg_objects_per_txn(), 120.0);
+        }
+    }
+
+    #[test]
+    fn hotcold_ranges() {
+        let spec = WorkloadSpec::hotcold(Locality::Low, 0.0);
+        assert_eq!(spec.hot_range(0, 10), Some((0, 50)));
+        assert_eq!(spec.hot_range(3, 10), Some((150, 200)));
+        assert_eq!(spec.cold_range(), (0, 1250));
+        assert!(spec.is_hot(3, 10, 160));
+        assert!(!spec.is_hot(3, 10, 50));
+        spec.validate(10);
+    }
+
+    #[test]
+    fn hicon_shares_one_region() {
+        let spec = WorkloadSpec::hicon(Locality::High, 0.2);
+        assert_eq!(spec.hot_range(0, 10), spec.hot_range(9, 10));
+        spec.validate(10);
+    }
+
+    #[test]
+    fn uniform_has_no_hot_range() {
+        let spec = WorkloadSpec::uniform(Locality::Low, 0.2);
+        assert_eq!(spec.hot_range(0, 10), None);
+        spec.validate(10);
+    }
+
+    #[test]
+    fn private_cold_is_read_only_second_half() {
+        let spec = WorkloadSpec::private(Locality::High, 0.3);
+        assert_eq!(spec.cold_write_prob, 0.0);
+        assert_eq!(spec.cold_range(), (625, 1250));
+        assert_eq!(spec.hot_range(9, 10), Some((225, 250)));
+        spec.validate(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "PRIVATE requires the high-locality setting")]
+    fn private_rejects_low_locality() {
+        let _ = WorkloadSpec::private(Locality::Low, 0.1);
+    }
+
+    #[test]
+    fn private_low_variant_fits() {
+        let spec = WorkloadSpec::private_low_variant(0.1);
+        assert_eq!(spec.trans_size_pages, 13);
+        spec.validate(10);
+    }
+
+    #[test]
+    fn scaled_multiplies_db_transactions_and_hot_ranges() {
+        let spec = WorkloadSpec::hotcold(Locality::Low, 0.1).scaled(9, 3);
+        assert_eq!(spec.db_pages, 11_250);
+        assert_eq!(spec.trans_size_pages, 90);
+        assert_eq!(spec.hot_range(0, 10), Some((0, 450)), "hot region scales");
+        // Tay contention measure is preserved: txn²/region constant.
+        let base = WorkloadSpec::hotcold(Locality::Low, 0.1);
+        let m0 = (base.trans_size_pages as f64).powi(2) / 50.0;
+        let m1 = (spec.trans_size_pages as f64).powi(2) / 450.0;
+        assert!((m0 - m1).abs() < 1e-9);
+        spec.validate(10);
+
+        let hicon = WorkloadSpec::hicon(Locality::Low, 0.1).scaled(9, 3);
+        assert_eq!(hicon.hot_range(5, 10), Some((0, 450)));
+        hicon.validate(10);
+    }
+
+    #[test]
+    fn interleaved_private_has_remap() {
+        let spec = WorkloadSpec::interleaved_private(0.2);
+        assert!(spec.remap.is_some());
+        spec.validate(10);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests: reference strings are well-formed for arbitrary valid
+//! workload configurations.
+
+use fgs_simkernel::Pcg32;
+use fgs_workload::{AccessPattern, Locality, WorkloadGen, WorkloadSpec};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone, Copy)]
+enum Family {
+    HotCold,
+    Uniform,
+    HiCon,
+    Private,
+    Interleaved,
+}
+
+fn family() -> impl Strategy<Value = Family> {
+    prop_oneof![
+        Just(Family::HotCold),
+        Just(Family::Uniform),
+        Just(Family::HiCon),
+        Just(Family::Private),
+        Just(Family::Interleaved),
+    ]
+}
+
+fn build(family: Family, locality: bool, w: f64, clustered: bool) -> WorkloadSpec {
+    let loc = if locality {
+        Locality::High
+    } else {
+        Locality::Low
+    };
+    let mut spec = match family {
+        Family::HotCold => WorkloadSpec::hotcold(loc, w),
+        Family::Uniform => WorkloadSpec::uniform(loc, w),
+        Family::HiCon => WorkloadSpec::hicon(loc, w),
+        Family::Private => WorkloadSpec::private(Locality::High, w),
+        Family::Interleaved => WorkloadSpec::interleaved_private(w),
+    };
+    if clustered {
+        spec.access_pattern = AccessPattern::Clustered;
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every generated transaction respects the spec's structural
+    /// invariants for every client.
+    #[test]
+    fn reference_strings_are_well_formed(
+        fam in family(),
+        high_locality in any::<bool>(),
+        w in 0.0f64..=1.0,
+        clustered in any::<bool>(),
+        client in 0u16..10,
+        seed in any::<u64>(),
+    ) {
+        let spec = build(fam, high_locality, w, clustered);
+        let gen = WorkloadGen::new(spec.clone(), 10);
+        let mut rng = Pcg32::new(seed, 0);
+        let txn = gen.gen_transaction(client, &mut rng);
+        // Group accesses by page.
+        let mut per_page: HashMap<u32, HashSet<u16>> = HashMap::new();
+        let mut writes = 0usize;
+        for a in &txn {
+            prop_assert!(a.oid.page.0 < spec.db_pages, "page in range");
+            prop_assert!(a.oid.slot < spec.objects_per_page, "slot in range");
+            per_page.entry(a.oid.page.0).or_default().insert(a.oid.slot);
+            writes += a.write as usize;
+        }
+        // Interleaving remaps pages, so the distinct-page invariant holds
+        // on the *logical* string; physically it may spread further.
+        if spec.remap.is_none() {
+            prop_assert_eq!(
+                per_page.len() as u32,
+                spec.trans_size_pages,
+                "pages chosen without replacement"
+            );
+            let (lo, hi) = spec.page_locality;
+            for slots in per_page.values() {
+                prop_assert!(
+                    (lo as usize..=hi as usize).contains(&slots.len()),
+                    "page locality bounds"
+                );
+            }
+        }
+        // No duplicate object references.
+        let distinct: HashSet<_> = txn.iter().map(|a| a.oid).collect();
+        prop_assert_eq!(distinct.len(), txn.len(), "objects referenced once");
+        // Write probability 0 ⇒ no writes; 1 ⇒ hot accesses all write.
+        if w == 0.0 {
+            prop_assert_eq!(writes, 0);
+        }
+    }
+
+    /// PRIVATE-family workloads never generate cross-client write
+    /// conflicts, whatever the parameters.
+    #[test]
+    fn private_families_stay_conflict_free(
+        interleaved in any::<bool>(),
+        w in 0.01f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = if interleaved {
+            WorkloadSpec::interleaved_private(w)
+        } else {
+            WorkloadSpec::private(Locality::High, w)
+        };
+        let gen = WorkloadGen::new(spec, 10);
+        let mut written: Vec<HashSet<_>> = vec![HashSet::new(); 10];
+        for c in 0..10u16 {
+            let mut rng = Pcg32::new(seed, u64::from(c));
+            for _ in 0..5 {
+                for a in gen.gen_transaction(c, &mut rng) {
+                    if a.write {
+                        written[c as usize].insert(a.oid);
+                    }
+                }
+            }
+        }
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                prop_assert!(
+                    written[i].is_disjoint(&written[j]),
+                    "clients {} and {} write-share an object", i, j
+                );
+            }
+        }
+    }
+
+    /// Generation is a pure function of (spec, client, rng state).
+    #[test]
+    fn generation_is_deterministic(
+        fam in family(),
+        w in 0.0f64..=0.5,
+        seed in any::<u64>(),
+    ) {
+        let spec = build(fam, true, w, false);
+        let gen = WorkloadGen::new(spec, 10);
+        let a = gen.gen_transaction(3, &mut Pcg32::new(seed, 9));
+        let b = gen.gen_transaction(3, &mut Pcg32::new(seed, 9));
+        prop_assert_eq!(a, b);
+    }
+}

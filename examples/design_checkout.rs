@@ -1,0 +1,111 @@
+//! A CAD-style workload (the paper's PRIVATE pattern): each designer
+//! repeatedly revises drawings in a private region of the database while
+//! consulting a shared, read-only parts catalog. There is no data
+//! contention at all — the interesting question is how few messages the
+//! protocol needs once caches are warm.
+//!
+//! ```sh
+//! cargo run --release -p fgs-examples --bin design_checkout [protocol]
+//! ```
+
+use fgs_core::{Oid, PageId, Protocol};
+use fgs_oodb::{EngineConfig, Oodb};
+use std::sync::Arc;
+
+const DESIGNERS: u16 = 4;
+const PAGES_PER_DESIGNER: u32 = 8;
+const CATALOG_PAGES: u32 = 16;
+const OBJECTS_PER_PAGE: u16 = 8;
+const REVISIONS: usize = 40;
+
+fn main() {
+    let protocol = std::env::args()
+        .nth(1)
+        .map(|s| s.parse::<Protocol>().expect("protocol name"))
+        .unwrap_or(Protocol::PsAa);
+    let private_pages = u32::from(DESIGNERS) * PAGES_PER_DESIGNER;
+    let db = Arc::new(
+        Oodb::open(EngineConfig {
+            protocol,
+            db_pages: private_pages + CATALOG_PAGES,
+            objects_per_page: OBJECTS_PER_PAGE,
+            object_size: 96,
+            page_size: 4096,
+            n_clients: DESIGNERS,
+            client_cache_pages: (PAGES_PER_DESIGNER + CATALOG_PAGES) as usize,
+            server_pool_pages: 32,
+        })
+        .expect("open database"),
+    );
+
+    println!("protocol: {protocol}, {DESIGNERS} designers, {REVISIONS} revisions each");
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for d in 0..DESIGNERS {
+            let db = db.clone();
+            scope.spawn(move || {
+                let session = db.session(d);
+                let my_base = u32::from(d) * PAGES_PER_DESIGNER;
+                for rev in 0..REVISIONS {
+                    session
+                        .run_txn(8, |txn| {
+                            // Consult a couple of catalog entries…
+                            let part = Oid::new(
+                                PageId(private_pages + (rev as u32 % CATALOG_PAGES)),
+                                (rev % OBJECTS_PER_PAGE as usize) as u16,
+                            );
+                            let _ = txn.read(part)?;
+                            // …then revise two drawing objects in the
+                            // private region.
+                            for k in 0..2u32 {
+                                let target = Oid::new(
+                                    PageId(my_base + (rev as u32 + k) % PAGES_PER_DESIGNER),
+                                    ((rev as u32 + k) % u32::from(OBJECTS_PER_PAGE)) as u16,
+                                );
+                                txn.write(
+                                    target,
+                                    format!("designer {d} revision {rev}").into_bytes(),
+                                )?;
+                            }
+                            Ok(())
+                        })
+                        .expect("design transaction commits");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    let mut hits = 0;
+    let mut misses = 0;
+    for d in 0..DESIGNERS {
+        let s = db.session(d).stats().expect("stats");
+        hits += s.hits;
+        misses += s.misses;
+    }
+    let server = db.server_stats();
+    let txns = DESIGNERS as usize * REVISIONS;
+    println!(
+        "{txns} transactions in {elapsed:.2?} ({:.0} txns/sec)",
+        txns as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "client caches: {:.1}% hit rate after warmup ({hits} hits / {misses} misses)",
+        100.0 * hits as f64 / (hits + misses) as f64
+    );
+    println!(
+        "server: {} pages shipped, {} callbacks ({}), {} deadlocks",
+        server.pages_shipped,
+        server.callbacks_sent,
+        if server.callbacks_sent == 0 {
+            "no sharing, as PRIVATE predicts"
+        } else {
+            "read-only catalog sharing only"
+        },
+        server.deadlocks,
+    );
+    match Arc::try_unwrap(db) {
+        Ok(db) => db.shutdown(),
+        Err(_) => unreachable!("all designers joined"),
+    }
+}

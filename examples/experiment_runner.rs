@@ -1,0 +1,60 @@
+//! Drive the paper's simulator directly: build a custom workload, sweep a
+//! parameter, and print a figure-style table — the same machinery behind
+//! `cargo bench -p fgs-bench --bench figures`, exposed as a library.
+//!
+//! ```sh
+//! cargo run --release -p fgs-examples --bin experiment_runner [workload]
+//! ```
+//! where `workload` is one of `hotcold`, `uniform`, `hicon`, `private`,
+//! `interleaved` (default `hotcold`).
+
+use fgs_core::Protocol;
+use fgs_sim::{run_point, RunConfig, SystemConfig};
+use fgs_workload::{Locality, WorkloadSpec};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "hotcold".into());
+    let make: Box<dyn Fn(f64) -> WorkloadSpec> = match which.as_str() {
+        "hotcold" => Box::new(|w| WorkloadSpec::hotcold(Locality::Low, w)),
+        "uniform" => Box::new(|w| WorkloadSpec::uniform(Locality::Low, w)),
+        "hicon" => Box::new(|w| WorkloadSpec::hicon(Locality::Low, w)),
+        "private" => Box::new(|w| WorkloadSpec::private(Locality::High, w)),
+        "interleaved" => Box::new(WorkloadSpec::interleaved_private),
+        other => {
+            eprintln!("unknown workload: {other}");
+            std::process::exit(1);
+        }
+    };
+    // Short runs: this example favours speed over tight confidence
+    // intervals (use the bench harness for the real figures).
+    let sys = SystemConfig::default();
+    let run = RunConfig {
+        duration: 60.0,
+        warmup: 10.0,
+        batches: 5,
+        ..RunConfig::default()
+    };
+    println!("workload {which}: throughput (txns/sec) vs per-object write probability\n");
+    print!("{:<8}", "w");
+    for p in Protocol::ALL {
+        print!("{:>9}", p.name());
+    }
+    println!();
+    for w in [0.0, 0.05, 0.1, 0.2] {
+        print!("{w:<8.2}");
+        for p in Protocol::ALL {
+            let m = run_point(p, make(w), &sys, &run);
+            print!("{:>9.2}", m.throughput);
+        }
+        println!();
+    }
+    println!("\nDetailed per-run metrics (PS-AA at w=0.1):");
+    let m = run_point(Protocol::PsAa, make(0.1), &sys, &run);
+    println!("{}", m.summary());
+    println!(
+        "  page-level grants: {:.0}%  de-escalations: {}  client hit rate: {:.0}%",
+        m.page_grant_frac * 100.0,
+        m.deescalations,
+        m.client_hit_rate * 100.0
+    );
+}

@@ -1,0 +1,2 @@
+//! Cross-crate integration tests live in `tests/tests/`; this crate body
+//! is intentionally empty.

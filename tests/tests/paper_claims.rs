@@ -1,0 +1,161 @@
+//! The paper's headline claims, checked end-to-end through the full
+//! simulator at quick quality with a fixed seed. These are the regression
+//! guards for the reproduction: if a protocol change breaks one of the
+//! §5 stories, a test here fails.
+
+use fgs_bench::{run_figure, Quality};
+use fgs_core::Protocol;
+
+/// These drive dozens of full simulations per test; unoptimized builds
+/// take tens of minutes. `cargo test --release -p fgs-tests` runs them.
+macro_rules! release_only {
+    () => {
+        if cfg!(debug_assertions) {
+            eprintln!("skipped in debug builds; run with --release");
+            return;
+        }
+    };
+}
+
+fn val(fig: &fgs_sim::Figure, p: Protocol, w: f64) -> f64 {
+    fig.value(p, w)
+        .unwrap_or_else(|| panic!("{p} at {w} missing"))
+}
+
+/// §5.2, Figure 3: at low page locality under HOTCOLD, the adaptive page
+/// server beats the pure page server (false sharing) and the pure object
+/// server (messages); PS-OA sits between.
+#[test]
+fn fig3_hotcold_low_locality_story() {
+    release_only!();
+    let fig = run_figure("fig3", Quality::Quick);
+    for w in [0.15, 0.2, 0.3] {
+        let psaa = val(&fig, Protocol::PsAa, w);
+        assert!(psaa > val(&fig, Protocol::Ps, w), "PS-AA > PS at w={w}");
+        assert!(psaa > val(&fig, Protocol::Os, w), "PS-AA > OS at w={w}");
+        assert!(
+            psaa > val(&fig, Protocol::PsOo, w),
+            "PS-AA > PS-OO at w={w}"
+        );
+        assert!(
+            val(&fig, Protocol::PsOa, w) > val(&fig, Protocol::Ps, w),
+            "PS-OA > PS at w={w}"
+        );
+    }
+    // At zero writes everything page-based ties and OS trails.
+    let w0: Vec<f64> = Protocol::ALL.iter().map(|&p| val(&fig, p, 0.0)).collect();
+    assert!(w0[1] < w0[0], "OS slowest with no writes (message costs)");
+}
+
+/// §5.2, Figure 4: at high page locality PS does very well, and only
+/// PS-AA manages to match it; the object-granularity schemes fall far
+/// behind (server CPU burden).
+#[test]
+fn fig4_hotcold_high_locality_story() {
+    release_only!();
+    let fig = run_figure("fig4", Quality::Quick);
+    for w in [0.15, 0.2, 0.3] {
+        let ps = val(&fig, Protocol::Ps, w);
+        let psaa = val(&fig, Protocol::PsAa, w);
+        assert!(
+            (psaa - ps).abs() < 0.15 * ps,
+            "PS-AA tracks PS at high locality: {psaa} vs {ps} at w={w}"
+        );
+        assert!(
+            ps > val(&fig, Protocol::PsOa, w),
+            "object write-lock messages cost throughput at w={w}"
+        );
+        assert!(
+            ps > 1.3 * val(&fig, Protocol::PsOo, w),
+            "static object locking+callbacks suffers at w={w}"
+        );
+        assert!(
+            ps > 1.8 * val(&fig, Protocol::Os, w),
+            "OS suffers most at w={w}"
+        );
+    }
+}
+
+/// §5.4, Figure 9: under extreme contention with high page locality, the
+/// pure page server overtakes everything — fine-grained locking only adds
+/// deadlocks when object conflicts imply page conflicts anyway.
+#[test]
+fn fig9_hicon_ps_wins_at_extreme_contention() {
+    release_only!();
+    let fig = run_figure("fig9", Quality::Quick);
+    for w in [0.3, 0.4, 0.5] {
+        let ps = val(&fig, Protocol::Ps, w);
+        for p in [Protocol::Os, Protocol::PsOo, Protocol::PsOa, Protocol::PsAa] {
+            assert!(
+                ps > val(&fig, p, w),
+                "PS leads at extreme HICON contention: vs {p} at w={w}"
+            );
+        }
+    }
+    // But at low write probabilities the adaptive schemes still win.
+    assert!(val(&fig, Protocol::PsAa, 0.02) > val(&fig, Protocol::Ps, 0.02));
+}
+
+/// §5.5, Figure 10: PRIVATE has no contention; PS and PS-AA tie at the
+/// top (both take page locks), the object-locking schemes pay message
+/// costs, and OS pays the most.
+#[test]
+fn fig10_private_story() {
+    release_only!();
+    let fig = run_figure("fig10", Quality::Quick);
+    for w in [0.2, 0.3, 0.5] {
+        let ps = val(&fig, Protocol::Ps, w);
+        let psaa = val(&fig, Protocol::PsAa, w);
+        assert!(
+            (psaa - ps).abs() < 0.05 * ps,
+            "PS == PS-AA under PRIVATE at w={w}"
+        );
+        let psoo = val(&fig, Protocol::PsOo, w);
+        let psoa = val(&fig, Protocol::PsOa, w);
+        assert!(
+            (psoo - psoa).abs() < 0.10 * psoa,
+            "PS-OO ≈ PS-OA (no callbacks happen) at w={w}"
+        );
+        assert!(ps > psoa, "page locking saves write-lock messages at w={w}");
+        assert!(psoa > val(&fig, Protocol::Os, w), "OS worst at w={w}");
+    }
+}
+
+/// §5.5, Figure 11: under Interleaved PRIVATE (pure false sharing),
+/// object-level callbacks (PS-OO) dodge the page ping-pong and win over
+/// the adaptive page-callback schemes; the pure page server collapses.
+#[test]
+fn fig11_interleaved_private_story() {
+    release_only!();
+    let fig = run_figure("fig11", Quality::Quick);
+    for w in [0.1, 0.2, 0.3] {
+        let psoo = val(&fig, Protocol::PsOo, w);
+        assert!(
+            psoo > val(&fig, Protocol::PsAa, w),
+            "PS-OO beats PS-AA under extreme false sharing at w={w}"
+        );
+        assert!(
+            psoo > val(&fig, Protocol::Ps, w),
+            "PS-OO far above PS at w={w}"
+        );
+        assert!(
+            val(&fig, Protocol::PsAa, w) > val(&fig, Protocol::Ps, w),
+            "even page-adaptive schemes beat pure PS at w={w}"
+        );
+    }
+}
+
+/// Figure 5 is analytic and must match the closed form exactly.
+#[test]
+fn fig5_matches_closed_form() {
+    let fig = run_figure("fig5", Quality::Quick);
+    let s4 = fig
+        .series
+        .iter()
+        .find(|s| s.protocol == "locality 4")
+        .expect("locality 4 series");
+    for &(w, p) in &s4.points {
+        let expect = 1.0 - (1.0 - w).powf(4.0);
+        assert!((p - expect).abs() < 1e-12);
+    }
+}
