@@ -17,6 +17,7 @@ fn config(protocol: Protocol) -> EngineConfig {
         n_clients: 2,
         client_cache_pages: 64,
         server_pool_pages: 64,
+        ..EngineConfig::default()
     }
 }
 

@@ -1,0 +1,143 @@
+//! Server-runtime throughput sweep: commits/second through the sharded,
+//! pipelined server (worker pool + group commit) as the client count
+//! grows, for PS and PS-AA.
+//!
+//! Run via `cargo bench -p fgs-bench --bench server_throughput`.
+//! Control with env:
+//!   FGS_QUALITY=quick|full  transactions per client (default: full)
+//!   FGS_RESULTS=results     output directory for BENCH_server.json
+//!
+//! Each client updates two objects on its private page and reads one
+//! object of a shared page per transaction — enough write traffic to
+//! exercise commit durability on every transaction while keeping lock
+//! conflicts (which would measure the protocol, not the runtime) low.
+
+use fgs_core::{Oid, PageId, Protocol};
+use fgs_oodb::{EngineConfig, Oodb};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+const DB_PAGES: u32 = 32;
+const SHARED_PAGE: u32 = 31;
+const CLIENT_COUNTS: [u16; 4] = [1, 4, 8, 16];
+
+#[derive(Serialize)]
+struct BenchPoint {
+    protocol: String,
+    clients: u64,
+    txns: u64,
+    elapsed_s: f64,
+    commits_per_s: f64,
+    commits: u64,
+    log_forces: u64,
+    group_commit_batches: u64,
+    piggybacked_commits: u64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    txns_per_client: u64,
+    points: Vec<BenchPoint>,
+}
+
+fn config(protocol: Protocol, clients: u16) -> EngineConfig {
+    EngineConfig {
+        protocol,
+        db_pages: DB_PAGES,
+        objects_per_page: 8,
+        object_size: 64,
+        page_size: 4096,
+        n_clients: clients,
+        client_cache_pages: 16,
+        server_pool_pages: 64,
+        server_workers: 4,
+        group_commit_batch: 8,
+        paranoid: false,
+    }
+}
+
+fn run_point(protocol: Protocol, clients: u16, txns_per_client: u64) -> BenchPoint {
+    let db = Arc::new(Oodb::open(config(protocol, clients)).unwrap());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let db = db.clone();
+            scope.spawn(move || {
+                let s = db.session(c);
+                let own = PageId(u32::from(c) % (DB_PAGES - 1));
+                for i in 0..txns_per_client {
+                    s.run_txn(100, |txn| {
+                        let payload = i.to_le_bytes().to_vec();
+                        txn.write(Oid::new(own, (i % 8) as u16), payload.clone())?;
+                        txn.write(Oid::new(own, ((i + 1) % 8) as u16), payload)?;
+                        txn.read(Oid::new(PageId(SHARED_PAGE), c % 8))?;
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = db.store_stats();
+    let txns = u64::from(clients) * txns_per_client;
+    db.check_server_invariants();
+    BenchPoint {
+        protocol: protocol.to_string(),
+        clients: u64::from(clients),
+        txns,
+        elapsed_s: elapsed,
+        commits_per_s: txns as f64 / elapsed,
+        commits: stats.commits,
+        log_forces: stats.log_forces,
+        group_commit_batches: stats.group_commit_batches,
+        piggybacked_commits: stats.piggybacked_commits,
+    }
+}
+
+fn main() {
+    let txns_per_client: u64 = match std::env::var("FGS_QUALITY").as_deref() {
+        Ok("quick") => 100,
+        _ => 400,
+    };
+    let mut points = Vec::new();
+    for protocol in [Protocol::Ps, Protocol::PsAa] {
+        for clients in CLIENT_COUNTS {
+            let p = run_point(protocol, clients, txns_per_client);
+            println!(
+                "{:6} {:2} clients: {:8.0} commits/s ({} forces for {} commits, \
+                 {} batches, {} piggybacked)",
+                p.protocol,
+                p.clients,
+                p.commits_per_s,
+                p.log_forces,
+                p.commits,
+                p.group_commit_batches,
+                p.piggybacked_commits
+            );
+            points.push(p);
+        }
+    }
+    let report = BenchReport {
+        bench: "server_throughput".to_string(),
+        txns_per_client,
+        points,
+    };
+    let out_dir = match std::env::var("FGS_RESULTS") {
+        Ok(dir) => std::path::PathBuf::from(dir),
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let path = out_dir.join("BENCH_server.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize report: {e}"),
+    }
+}

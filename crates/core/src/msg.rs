@@ -256,11 +256,34 @@ pub enum ServerMsg {
 pub enum AbortReason {
     /// Chosen as the victim of a deadlock cycle.
     Deadlock,
+    /// A server-side failure (e.g. a storage error while installing the
+    /// transaction's updates) forced the abort.
+    Server,
+}
+
+impl ServerMsg {
+    /// Whether delivering this message requires attaching stored data
+    /// (a page image or object bytes) before it reaches the client. A
+    /// staged server runtime uses this to route only data-bearing grants
+    /// through the attach stage; everything else is a pure control send.
+    pub fn attaches_data(&self) -> bool {
+        match self {
+            ServerMsg::ReadGranted { data, .. } | ServerMsg::WriteGranted { data, .. } => {
+                !matches!(data, DataGrant::None)
+            }
+            ServerMsg::Callback { .. }
+            | ServerMsg::Deescalate { .. }
+            | ServerMsg::Aborted { .. }
+            | ServerMsg::CommitDone { .. }
+            | ServerMsg::AbortDone { .. } => false,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::ClientId;
 
     #[test]
     fn busy_is_not_final() {
@@ -269,6 +292,35 @@ mod tests {
         assert!(CallbackReply::NotCached { epoch: 0 }.is_final());
         assert!(CallbackReply::ObjectPurged { slot: 3 }.is_final());
         assert!(CallbackReply::ObjectUnavailable { slot: 3 }.is_final());
+    }
+
+    #[test]
+    fn attaches_data_distinguishes_grants_from_control() {
+        let txn = TxnId::new(ClientId(1), 1);
+        let oid = Oid::new(PageId(0), 0);
+        let with_page = ServerMsg::ReadGranted {
+            txn,
+            oid,
+            data: DataGrant::Page {
+                page: PageId(0),
+                unavailable: vec![],
+                epoch: 1,
+            },
+        };
+        assert!(with_page.attaches_data());
+        let cached = ServerMsg::WriteGranted {
+            txn,
+            oid,
+            level: GrantLevel::Object,
+            data: DataGrant::None,
+        };
+        assert!(!cached.attaches_data(), "no shipped data, pure control");
+        assert!(!ServerMsg::CommitDone { txn }.attaches_data());
+        assert!(!ServerMsg::Aborted {
+            txn,
+            reason: AbortReason::Server
+        }
+        .attaches_data());
     }
 
     #[test]

@@ -35,6 +35,16 @@ pub enum ServerAction {
     },
 }
 
+impl ServerAction {
+    /// Whether carrying out this action requires attaching stored data
+    /// (a page image or object bytes) before it reaches its client.
+    pub fn attaches_data(&self) -> bool {
+        match self {
+            ServerAction::Send { msg, .. } => msg.attaches_data(),
+        }
+    }
+}
+
 /// The result of handling one request.
 #[derive(Debug, Default)]
 pub struct Outcome {
@@ -42,6 +52,20 @@ pub struct Outcome {
     pub actions: Vec<ServerAction>,
     /// CPU-accounting deltas for the simulator.
     pub cost: Cost,
+}
+
+impl Outcome {
+    /// Number of actions that must pass through a data-attach stage
+    /// (grants shipping a page image or object bytes).
+    pub fn data_sends(&self) -> usize {
+        self.actions.iter().filter(|a| a.attaches_data()).count()
+    }
+
+    /// Number of pure control sends (no stored data involved); these can
+    /// be dispatched directly without touching the store.
+    pub fn control_sends(&self) -> usize {
+        self.actions.len() - self.data_sends()
+    }
 }
 
 /// How a request fared against the lock table.
@@ -120,6 +144,27 @@ impl ServerEngine {
             }
             Request::Commit { txn, writes } => self.handle_commit(from, txn, &writes),
             Request::Abort { txn } => self.handle_client_abort(from, txn),
+        }
+        Outcome {
+            actions: std::mem::take(&mut self.out),
+            cost: std::mem::take(&mut self.cost),
+        }
+    }
+
+    /// Aborts a live transaction at the server's initiative (outside the
+    /// normal request path — e.g. the embedding runtime hit a storage
+    /// error while installing its updates). Releases its locks, wakes
+    /// blocked waiters and notifies the owning client, returning the
+    /// effects like [`ServerEngine::handle`]. A no-op outcome results if
+    /// the transaction is unknown or already finished.
+    pub fn abort_txn(&mut self, txn: TxnId, reason: AbortReason) -> Outcome {
+        debug_assert!(self.out.is_empty() && self.cost == Cost::default());
+        if let Some(client) = self.end_txn(txn) {
+            match reason {
+                AbortReason::Deadlock => self.stats.deadlocks += 1,
+                AbortReason::Server => self.stats.server_aborts += 1,
+            }
+            self.send(client, ServerMsg::Aborted { txn, reason });
         }
         Outcome {
             actions: std::mem::take(&mut self.out),

@@ -206,6 +206,9 @@ pub struct ServerStats {
     pub objects_shipped: u64,
     /// PS-WT: write-token transfers between owners (each ships a page).
     pub token_transfers: u64,
+    /// Transactions aborted by the embedding server runtime (storage
+    /// failures), as opposed to deadlock victims.
+    pub server_aborts: u64,
 }
 
 pub use crate::cost::Cost;

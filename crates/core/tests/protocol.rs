@@ -679,3 +679,83 @@ fn pswt_object_callbacks_like_psoo() {
     assert_eq!(w.server.stats().callbacks_sent, 1);
     assert_eq!(w.clients[1].cached_items(), 1, "page kept, object marked");
 }
+
+// ---------------------------------------------------------------------
+// Server-initiated aborts (the embedding runtime's storage-error path)
+// ---------------------------------------------------------------------
+
+#[test]
+fn server_initiated_abort_releases_locks() {
+    use fgs_core::{AbortReason, Request, ServerAction, ServerEngine, ServerMsg};
+    let mut server = ServerEngine::new(Protocol::Ps, 16);
+    let txn = TxnId::new(ClientId(0), 1);
+    let out = server.handle(
+        ClientId(0),
+        Request::Write {
+            txn,
+            oid: oid(1, 0),
+            need_copy: true,
+        },
+    );
+    assert_eq!(out.data_sends(), 1, "write grant ships the page");
+    assert_eq!(out.control_sends(), 0);
+
+    let out = server.abort_txn(txn, AbortReason::Server);
+    assert!(
+        out.actions.iter().any(|a| matches!(
+            a,
+            ServerAction::Send {
+                msg: ServerMsg::Aborted {
+                    reason: AbortReason::Server,
+                    ..
+                },
+                ..
+            }
+        )),
+        "client is told its transaction died"
+    );
+    assert_eq!(out.data_sends(), 0, "abort is pure control traffic");
+    assert_eq!(server.live_txns(), 0, "locks and state released");
+    assert_eq!(server.stats().server_aborts, 1);
+    assert_eq!(server.stats().deadlocks, 0);
+    server.check_invariants();
+
+    // Aborting an unknown/finished transaction is a silent no-op.
+    let out = server.abort_txn(txn, AbortReason::Server);
+    assert!(out.actions.is_empty());
+    assert_eq!(server.stats().server_aborts, 1);
+}
+
+#[test]
+fn server_abort_wakes_blocked_waiter() {
+    use fgs_core::{AbortReason, Request, ServerEngine};
+    let mut server = ServerEngine::new(Protocol::Ps, 16);
+    let t0 = TxnId::new(ClientId(0), 1);
+    let t1 = TxnId::new(ClientId(1), 1);
+    server.handle(
+        ClientId(0),
+        Request::Write {
+            txn: t0,
+            oid: oid(1, 0),
+            need_copy: true,
+        },
+    );
+    let blocked = server.handle(
+        ClientId(1),
+        Request::Write {
+            txn: t1,
+            oid: oid(1, 1),
+            need_copy: true,
+        },
+    );
+    assert!(blocked.actions.is_empty(), "t1 waits on t0's page lock");
+    // Killing t0 must start handing the page to t1 in the same outcome
+    // (under PS that begins with a callback to client 0's cached copy).
+    let out = server.abort_txn(t0, AbortReason::Server);
+    assert!(
+        out.actions.len() >= 2,
+        "t0's abort also advances t1's pending grant: {:?}",
+        out.actions
+    );
+    server.check_invariants();
+}

@@ -4,10 +4,12 @@
 
 use crate::config::EngineConfig;
 use crate::error::TxnError;
-use crate::wire::{AppCmd, ToClient, ToServer};
+use crate::wire::{AppCmd, ClientMsg, ToClient, ToServer};
 use crossbeam::channel::{Receiver, Sender};
 use fgs_core::client::{ClientAction, ClientEngine, TxnOutcome};
-use fgs_core::{ClientId, DataGrant, Oid, PageId, Protocol, Request, ServerMsg, SlotId, TxnId};
+use fgs_core::{
+    AbortReason, ClientId, DataGrant, Oid, PageId, Protocol, Request, ServerMsg, SlotId, TxnId,
+};
 use fgs_pagestore::{Record, SlottedPage};
 use std::collections::{HashMap, HashSet};
 
@@ -47,9 +49,9 @@ pub(crate) struct ClientRuntime {
     dirty: HashMap<PageId, HashSet<SlotId>>,
     txn_seq: u64,
     pending: Option<PendingApp>,
-    /// The active transaction was killed as a deadlock victim while the
-    /// application was between calls; surface it on the next call.
-    txn_dead: bool,
+    /// The active transaction was killed server-side (deadlock victim or
+    /// server failure); the error to surface on the pending or next call.
+    killed: Option<TxnError>,
     server_tx: Sender<ToServer>,
 }
 
@@ -72,28 +74,24 @@ impl ClientRuntime {
             dirty: HashMap::new(),
             txn_seq: 0,
             pending: None,
-            txn_dead: false,
+            killed: None,
             server_tx,
         }
     }
 
     /// The runtime's main loop; returns when told to shut down or when the
-    /// engine is torn down.
-    pub(crate) fn run(mut self, app_rx: Receiver<AppCmd>, server_rx: Receiver<ToClient>) {
-        loop {
-            crossbeam::channel::select! {
-                recv(app_rx) -> cmd => match cmd {
-                    Ok(cmd) => {
-                        if !self.handle_app(cmd) {
-                            return;
-                        }
+    /// engine is torn down. Application commands and server messages share
+    /// one inbox, so the per-client arrival order is exactly the handling
+    /// order.
+    pub(crate) fn run(mut self, rx: Receiver<ClientMsg>) {
+        for msg in rx.iter() {
+            match msg {
+                ClientMsg::App(cmd) => {
+                    if !self.handle_app(cmd) {
+                        return;
                     }
-                    Err(_) => return,
-                },
-                recv(server_rx) -> env => match env {
-                    Ok(env) => self.handle_server(env),
-                    Err(_) => return,
-                },
+                }
+                ClientMsg::Server(env) => self.handle_server(env),
             }
         }
     }
@@ -110,7 +108,7 @@ impl ClientRuntime {
                     Err(TxnError::TxnState("a transaction is already active"))
                 } else {
                     self.txn_seq += 1;
-                    self.txn_dead = false;
+                    self.killed = None;
                     self.engine.begin(TxnId::new(self.id, self.txn_seq));
                     Ok(())
                 };
@@ -164,12 +162,11 @@ impl ClientRuntime {
         true
     }
 
-    /// Common per-call validation: deadlock surfacing, slot range, and
-    /// transaction existence.
+    /// Common per-call validation: server-abort surfacing, slot range,
+    /// and transaction existence.
     fn txn_guard(&mut self, slot: SlotId) -> Result<(), TxnError> {
-        if self.txn_dead {
-            self.txn_dead = false;
-            return Err(TxnError::Deadlock);
+        if let Some(e) = self.killed.take() {
+            return Err(e);
         }
         if !self.engine.has_active_txn() {
             return Err(TxnError::TxnState("no active transaction"));
@@ -185,6 +182,15 @@ impl ClientRuntime {
     // ------------------------------------------------------------------
 
     fn handle_server(&mut self, env: ToClient) {
+        // Capture *why* a server-side abort happened before the engine
+        // collapses it into a generic `TxnEnded`; `finish_txn` surfaces
+        // the matching error to the application.
+        if let ServerMsg::Aborted { reason, .. } = &env.msg {
+            self.killed = Some(match reason {
+                AbortReason::Deadlock => TxnError::Deadlock,
+                AbortReason::Server => TxnError::Server,
+            });
+        }
         // Byte payloads install before the engine acts on the message, so
         // an `AccessReady` emitted during handling can read them.
         let mut stub_scan: Option<PageId> = None;
@@ -340,19 +346,30 @@ impl ClientRuntime {
                 let _ = reply.send(Ok(()));
             }
             (Some(PendingApp::Commit { reply }), TxnOutcome::Deadlocked) => {
-                let _ = reply.send(Err(TxnError::Deadlock));
+                let _ = reply.send(Err(self.kill_error()));
             }
             (Some(PendingApp::Read { reply, .. }), TxnOutcome::Deadlocked) => {
-                let _ = reply.send(Err(TxnError::Deadlock));
+                let _ = reply.send(Err(self.kill_error()));
             }
             (Some(PendingApp::Write { reply, .. }), TxnOutcome::Deadlocked) => {
-                let _ = reply.send(Err(TxnError::Deadlock));
+                let _ = reply.send(Err(self.kill_error()));
             }
-            (None, TxnOutcome::Deadlocked) => self.txn_dead = true,
+            (None, TxnOutcome::Deadlocked) => {
+                // Killed between app calls; `txn_guard` surfaces the
+                // error (already stashed in `self.killed`) next call.
+                let e = self.kill_error();
+                self.killed = Some(e);
+            }
             (pending, outcome) => {
                 panic!("inconsistent transaction end: {pending:?} vs {outcome:?}")
             }
         }
+    }
+
+    /// The error a server-side kill should surface (captured from the
+    /// `Aborted` message; deadlock if the reason never reached us).
+    fn kill_error(&mut self) -> TxnError {
+        self.killed.take().unwrap_or(TxnError::Deadlock)
     }
 
     // ------------------------------------------------------------------

@@ -22,6 +22,19 @@ pub struct EngineConfig {
     pub client_cache_pages: usize,
     /// Server buffer pool size in pages.
     pub server_pool_pages: usize,
+    /// Worker threads in the server's request pipeline. Clients are
+    /// sharded over workers (`client % server_workers`), preserving each
+    /// client's request order while requests from different clients are
+    /// handled concurrently. Capped at `n_clients` at startup.
+    pub server_workers: usize,
+    /// Group-commit gather target: a log force waits (briefly) for up to
+    /// this many concurrently arriving commits and makes them durable with
+    /// a single force. `1` disables batching (force per commit).
+    pub group_commit_batch: usize,
+    /// Run the server engine's internal invariant checks after every
+    /// request even in release builds (always on under
+    /// `debug_assertions`). Expensive; for stress tests.
+    pub paranoid: bool,
 }
 
 impl Default for EngineConfig {
@@ -35,6 +48,9 @@ impl Default for EngineConfig {
             n_clients: 4,
             client_cache_pages: 16,
             server_pool_pages: 32,
+            server_workers: 4,
+            group_commit_batch: 8,
+            paranoid: false,
         }
     }
 }
@@ -46,6 +62,8 @@ impl EngineConfig {
         assert!((1..=64).contains(&self.objects_per_page));
         assert!(self.n_clients > 0);
         assert!(self.client_cache_pages > 0 && self.server_pool_pages > 0);
+        assert!(self.server_workers > 0);
+        assert!(self.group_commit_batch > 0);
         assert!(self.page_size >= 64);
         // All objects must fit a fresh page alongside the directory.
         let payload = (self.object_size + 1 + 4) * self.objects_per_page as usize;

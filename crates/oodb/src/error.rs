@@ -13,6 +13,9 @@ pub enum TxnError {
     ObjectTooLarge,
     /// The object does not exist.
     NoSuchObject,
+    /// The server aborted the transaction because of a server-side
+    /// failure (e.g. a storage error while installing its updates).
+    Server,
     /// A transaction is required (none is active) or already active.
     TxnState(&'static str),
     /// The engine has shut down.
@@ -27,6 +30,7 @@ impl fmt::Display for TxnError {
             TxnError::Deadlock => write!(f, "transaction aborted: deadlock victim"),
             TxnError::ObjectTooLarge => write!(f, "object update exceeds page capacity"),
             TxnError::NoSuchObject => write!(f, "no such object"),
+            TxnError::Server => write!(f, "transaction aborted by the server (storage failure)"),
             TxnError::TxnState(msg) => write!(f, "transaction state error: {msg}"),
             TxnError::Closed => write!(f, "engine is shut down"),
             TxnError::Io(e) => write!(f, "storage error: {e}"),

@@ -2,11 +2,14 @@
 //!
 //! An embedded, multi-threaded **page-server OODBMS** implementing the
 //! five granularity schemes of Carey, Franklin & Zaharioudakis (SIGMOD
-//! 1994). One server thread owns the logged page store and the server
-//! protocol engine; each client workstation is a runtime thread with its
-//! own cache (page images or objects) driven by the client protocol
-//! engine — the *same* `fgs-core` engines the simulator evaluates, so the
-//! measured protocols and the executable system cannot diverge.
+//! 1994). The server is a staged pipeline — a worker pool shards
+//! requests by client, commits are made durable with a group-committed
+//! log force, the protocol engine runs single-writer under a small lock,
+//! and data payloads are attached outside it. Each client workstation is
+//! a runtime thread with its own cache (page images or objects) driven
+//! by the client protocol engine — the *same* `fgs-core` engines the
+//! simulator evaluates, so the measured protocols and the executable
+//! system cannot diverge.
 //!
 //! Features:
 //!
@@ -15,10 +18,11 @@
 //! * intertransaction caching with callback-based consistency, adaptive
 //!   de-escalation under PS-AA, and deadlock detection with victim abort
 //!   (surfaced as [`TxnError::Deadlock`] — retry via [`Session::run_txn`]);
-//! * steal/no-force durability: WAL with before/after images, log force at
-//!   commit, crash recovery (see `fgs-pagestore`);
-//! * size-changing updates: objects may grow up to page capacity; overflow
-//!   at the server forwards records transparently.
+//! * steal/no-force durability: WAL with before/after images, group
+//!   commit (batched log forces, see [`EngineConfig::group_commit_batch`]
+//!   and [`Oodb::store_stats`]), crash recovery (see `fgs-pagestore`);
+//! * size-changing updates: objects may grow up to page capacity;
+//!   overflow at the server forwards records transparently.
 //!
 //! ```
 //! use fgs_oodb::{EngineConfig, Oodb};
@@ -54,24 +58,23 @@ pub use error::TxnError;
 pub use session::Session;
 
 use crate::client::ClientRuntime;
-use crate::server::{run_server, ServerShared};
-use crate::wire::{AppCmd, ToServer};
+use crate::server::{sender_loop, ServerRuntime};
+use crate::wire::{AppCmd, ClientMsg, ToServer};
 use crossbeam::channel::{unbounded, Sender};
 use fgs_core::server::ServerEngine;
 use fgs_core::{ClientId, ServerStats};
-use fgs_pagestore::{DiskManager, MemDisk, RecoveryReport, Store};
-use parking_lot::Mutex;
+use fgs_pagestore::{DiskManager, MemDisk, RecoveryReport, Store, StoreStats};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// An embedded page-server database: one server thread plus one runtime
-/// thread per client workstation.
+/// An embedded page-server database: a sharded server worker pool plus
+/// one runtime thread per client workstation.
 pub struct Oodb {
     config: EngineConfig,
-    server_tx: Sender<ToServer>,
-    app_txs: Vec<Sender<AppCmd>>,
+    worker_txs: Vec<Sender<ToServer>>,
+    client_txs: Vec<Sender<ClientMsg>>,
     threads: Vec<JoinHandle<()>>,
-    shared: Arc<Mutex<ServerShared>>,
+    runtime: Arc<ServerRuntime>,
 }
 
 impl Oodb {
@@ -113,43 +116,69 @@ impl Oodb {
 
     fn start(config: EngineConfig, store: Store) -> Oodb {
         let engine = ServerEngine::new(config.protocol, config.objects_per_page);
-        let shared = Arc::new(Mutex::new(ServerShared { engine, store }));
-        let (server_tx, server_rx) = unbounded();
-        let mut client_txs = Vec::new();
-        let mut app_txs = Vec::new();
+        let runtime = Arc::new(ServerRuntime::new(
+            engine,
+            store,
+            config.group_commit_batch,
+            config.paranoid,
+        ));
+        let n_workers = config.server_workers.min(config.n_clients as usize);
         let mut threads = Vec::new();
+
+        // Per-client inbox (application commands + server messages).
+        let mut client_txs = Vec::new();
         let mut client_rxs = Vec::new();
         for _ in 0..config.n_clients {
-            let (ctx, crx) = unbounded();
-            client_txs.push(ctx);
-            client_rxs.push(crx);
+            let (tx, rx) = unbounded();
+            client_txs.push(tx);
+            client_rxs.push(rx);
         }
+
+        // The send stage: one thread restoring engine order.
+        let (batch_tx, batch_rx) = unbounded();
         {
-            let shared = shared.clone();
+            let client_txs = client_txs.clone();
             threads.push(
                 std::thread::Builder::new()
-                    .name("fgs-server".into())
-                    .spawn(move || run_server(shared, server_rx, client_txs))
-                    .expect("spawn server"),
+                    .name("fgs-send".into())
+                    .spawn(move || sender_loop(batch_rx, client_txs))
+                    .expect("spawn sender"),
             );
         }
+
+        // The worker pool: clients are sharded over workers so each
+        // client's requests stay FIFO.
+        let mut worker_txs = Vec::new();
+        for w in 0..n_workers {
+            let (tx, rx) = unbounded();
+            worker_txs.push(tx);
+            let runtime = runtime.clone();
+            let out = batch_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("fgs-server-{w}"))
+                    .spawn(move || runtime.worker_loop(rx, out))
+                    .expect("spawn server worker"),
+            );
+        }
+        drop(batch_tx); // sender exits once every worker is gone
+
         for (i, crx) in client_rxs.into_iter().enumerate() {
-            let (atx, arx) = unbounded();
-            app_txs.push(atx);
-            let runtime = ClientRuntime::new(ClientId(i as u16), &config, server_tx.clone());
+            let server_tx = worker_txs[i % n_workers].clone();
+            let rt = ClientRuntime::new(ClientId(i as u16), &config, server_tx);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("fgs-client-{i}"))
-                    .spawn(move || runtime.run(arx, crx))
+                    .spawn(move || rt.run(crx))
                     .expect("spawn client"),
             );
         }
         Oodb {
             config,
-            server_tx,
-            app_txs,
+            worker_txs,
+            client_txs,
             threads,
-            shared,
+            runtime,
         }
     }
 
@@ -160,28 +189,33 @@ impl Oodb {
 
     /// A session for client `client` (one transaction at a time each).
     pub fn session(&self, client: u16) -> Session {
-        Session::new(client, self.app_txs[client as usize].clone())
+        Session::new(client, self.client_txs[client as usize].clone())
     }
 
     /// Server-side protocol counters.
     pub fn server_stats(&self) -> ServerStats {
-        self.shared.lock().engine.stats().clone()
+        self.runtime.engine_stats()
+    }
+
+    /// Commit-durability counters (group-commit batching, log forces).
+    pub fn store_stats(&self) -> StoreStats {
+        self.runtime.store_stats()
     }
 
     /// Checks the server engine's internal invariants (tests).
     pub fn check_server_invariants(&self) {
-        self.shared.lock().engine.check_invariants();
+        self.runtime.check_invariants();
     }
 
     /// Flushes all dirty pages and the log (checkpoint).
     pub fn checkpoint(&self) -> std::io::Result<()> {
-        self.shared.lock().store.flush_all()
+        self.runtime.store().flush_all()
     }
 
     /// A snapshot of the *durable* log bytes, as a crash would leave them
     /// (for recovery tests).
     pub fn durable_log(&self) -> Vec<u8> {
-        self.shared.lock().store.wal().durable_bytes()
+        self.runtime.store().wal().durable_bytes()
     }
 
     /// Stops all threads, flushing state first.
@@ -191,10 +225,12 @@ impl Oodb {
 
     fn shutdown_inner(&mut self) {
         let _ = self.checkpoint();
-        for tx in &self.app_txs {
-            let _ = tx.send(AppCmd::Shutdown);
+        for tx in &self.client_txs {
+            let _ = tx.send(ClientMsg::App(AppCmd::Shutdown));
         }
-        let _ = self.server_tx.send(ToServer::Shutdown);
+        for tx in &self.worker_txs {
+            let _ = tx.send(ToServer::Shutdown);
+        }
         for t in self.threads.drain(..) {
             let _ = t.join();
         }

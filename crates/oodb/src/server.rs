@@ -1,83 +1,389 @@
-//! The server thread: protocol engine + logged page store.
+//! The server runtime: a sharded, pipelined request path over the
+//! protocol engine and the logged page store.
+//!
+//! The old runtime was one thread holding one big mutex across the whole
+//! request path (durability, protocol, data attach, send). This one
+//! splits the path into stages with independent synchronization:
+//!
+//! * **Workers** — `server_workers` threads, each owning a shard of the
+//!   clients (`client % workers`), so one client's requests stay FIFO
+//!   while different clients proceed concurrently.
+//! * **Durability** — commit data is installed into the store and the
+//!   log is forced *before* the engine releases locks, so readers
+//!   unblocked by the commit see the new values. Concurrent commits
+//!   coalesce into one physical log force ([`GroupCommit`]).
+//! * **Protocol** — the engine itself stays single-writer under a small
+//!   mutex held only for the in-memory state transition; a global
+//!   sequence number is assigned under the same lock, capturing the
+//!   engine's serialization order.
+//! * **Attach** — page images / object bytes are copied out of the store
+//!   *outside* the engine lock (the store has its own sharded
+//!   synchronization). A storage error here aborts the affected
+//!   transaction ([`AbortReason::Server`]) instead of panicking.
+//! * **Send** — a dedicated sender thread re-orders completed batches by
+//!   sequence number, so every client observes the engine's order even
+//!   though attaches finish out of order.
 
-use crate::wire::{ToClient, ToServer};
+use crate::wire::{ClientMsg, ToClient, ToServer};
 use crossbeam::channel::{Receiver, Sender};
-use fgs_core::server::{ServerAction, ServerEngine};
-use fgs_core::{DataGrant, Request, ServerMsg};
-use fgs_pagestore::Store;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use fgs_core::server::{ServerAction, ServerEngine, ServerStats};
+use fgs_core::{AbortReason, ClientId, DataGrant, Request, ServerMsg, TxnId};
+use fgs_pagestore::{Lsn, Store, StoreStats};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
-/// State shared between the server thread and introspection APIs.
-pub(crate) struct ServerShared {
-    pub engine: ServerEngine,
-    pub store: Store,
+/// How long a group-commit leader waits for more commits to join its
+/// batch. Only paid when another client committed recently (a solo
+/// commit stream forces immediately).
+const GATHER_WINDOW: Duration = Duration::from_micros(500);
+
+/// How recent another client's commit must be for the leader to expect
+/// company and gather a batch.
+const CONCURRENT_WINDOW: Duration = Duration::from_millis(5);
+
+/// The protocol stage: the engine plus the global send-order sequence.
+/// Everything in here is touched only under the one (small) mutex.
+struct ProtocolStage {
+    engine: ServerEngine,
+    /// Next batch sequence number; assigned under the engine lock so the
+    /// sender thread can reconstruct the engine's serialization order.
+    next_seq: u64,
 }
 
-/// Runs the server loop until `Shutdown` (or all clients hang up).
-pub(crate) fn run_server(
-    shared: Arc<Mutex<ServerShared>>,
-    rx: Receiver<ToServer>,
-    client_txs: Vec<Sender<ToClient>>,
-) {
-    while let Ok(env) = rx.recv() {
-        let (from, req, commit_data) = match env {
-            ToServer::Shutdown => break,
-            ToServer::Req {
-                from,
-                req,
-                commit_data,
-            } => (from, req, commit_data),
-        };
-        let mut g = shared.lock();
-        // Commit: make the shipped updates durable *before* the protocol
-        // engine releases locks (readers unblocked by the commit must see
-        // the new values).
-        if let Request::Commit { txn, .. } = &req {
-            if !commit_data.is_empty() {
-                g.store.begin(*txn);
-                for (oid, bytes) in &commit_data {
-                    g.store
-                        .update_object(*txn, *oid, bytes)
-                        .expect("commit install failed");
-                }
-            }
-            g.store.commit(*txn); // log force
+/// A batch of outbound messages stamped with its engine-order sequence.
+pub(crate) struct SeqBatch {
+    seq: u64,
+    msgs: Vec<(ClientId, ToClient)>,
+}
+
+/// Group commit: concurrently arriving commits elect a leader that
+/// forces the log once for the whole batch; the rest piggyback.
+struct GroupCommit {
+    state: Mutex<GcState>,
+    cv: Condvar,
+    /// Gather target (from [`crate::EngineConfig::group_commit_batch`]).
+    batch: usize,
+}
+
+#[derive(Default)]
+struct GcState {
+    /// A leader is currently gathering or forcing.
+    forcing: bool,
+    /// Commit LSNs appended but not yet covered by a force.
+    pending: Vec<Lsn>,
+    /// The last committing client and when it arrived; a commit from a
+    /// *different* client within [`CONCURRENT_WINDOW`] tells the next
+    /// leader that gathering a batch is worthwhile.
+    last_commit: Option<(ClientId, Instant)>,
+}
+
+impl GroupCommit {
+    fn new(batch: usize) -> Self {
+        GroupCommit {
+            state: Mutex::new(GcState::default()),
+            cv: Condvar::new(),
+            batch,
         }
-        let outcome = g.engine.handle(from, req);
-        for action in outcome.actions {
-            let ServerAction::Send { to, msg } = action;
-            let env = attach_data(&g.store, msg);
-            // A send error means the client runtime is gone (shutdown
-            // race); drop the message.
-            let _ = client_txs[to.0 as usize].send(env);
+    }
+
+    /// Makes the commit record at `lsn` durable, coalescing with every
+    /// other commit waiting here: one member becomes the leader, gathers
+    /// up to `batch` pending commits, and issues a single physical force
+    /// for all of them. Returns once `lsn` is durable.
+    fn force(&self, store: &Store, lsn: Lsn, from: ClientId) {
+        let mut g = self.state.lock();
+        let concurrent = self.batch > 1
+            && g.last_commit
+                .is_some_and(|(c, t)| c != from && t.elapsed() < CONCURRENT_WINDOW);
+        g.last_commit = Some((from, Instant::now()));
+        g.pending.push(lsn);
+        self.cv.notify_all();
+        loop {
+            if store.wal().flushed() > lsn {
+                // Covered by someone else's force. If a leader drained us
+                // into its batch we are already accounted; otherwise
+                // account a batch-of-one piggyback.
+                if let Some(i) = g.pending.iter().position(|&l| l == lsn) {
+                    g.pending.swap_remove(i);
+                    drop(g);
+                    store.force_commits(lsn, 1);
+                }
+                return;
+            }
+            if !g.forcing {
+                g.forcing = true;
+                if concurrent {
+                    // Gather: other clients are committing right now;
+                    // trade a bounded wait for a batched force.
+                    let deadline = Instant::now() + GATHER_WINDOW;
+                    while g.pending.len() < self.batch {
+                        let now = Instant::now();
+                        if now >= deadline || self.cv.wait_for(&mut g, deadline - now) {
+                            break; // window exhausted; force what we have
+                        }
+                    }
+                }
+                let batch = std::mem::take(&mut g.pending);
+                drop(g);
+                let max = *batch.iter().max().expect("own lsn is pending");
+                store.force_commits(max, batch.len() as u64);
+                let mut g = self.state.lock();
+                g.forcing = false;
+                self.cv.notify_all();
+                // Our own LSN was in the drained batch (we pushed it and
+                // only a leader removes entries).
+                return;
+            }
+            self.cv.wait(&mut g);
         }
     }
 }
 
-/// Attaches page images / object bytes to grants.
-fn attach_data(store: &Store, msg: ServerMsg) -> ToClient {
-    let (page_image, object_bytes) = match &msg {
-        ServerMsg::ReadGranted { oid, data, .. } | ServerMsg::WriteGranted { oid, data, .. } => {
-            let image = match data {
-                DataGrant::Page { page, .. } => {
-                    Some(store.page_image(*page).expect("page image readable"))
-                }
-                _ => None,
-            };
-            let bytes = match data {
-                DataGrant::Page { .. } | DataGrant::Object { .. } => {
-                    store.read_object(*oid).expect("object readable")
-                }
-                DataGrant::None => None,
-            };
-            (image, bytes)
+/// State shared between the worker pool, the sender thread and the
+/// introspection APIs.
+pub(crate) struct ServerRuntime {
+    protocol: Mutex<ProtocolStage>,
+    store: Store,
+    gc: GroupCommit,
+    /// Run engine invariant checks after every request even in release.
+    paranoid: bool,
+}
+
+impl ServerRuntime {
+    pub(crate) fn new(
+        engine: ServerEngine,
+        store: Store,
+        group_commit_batch: usize,
+        paranoid: bool,
+    ) -> Self {
+        ServerRuntime {
+            protocol: Mutex::new(ProtocolStage {
+                engine,
+                next_seq: 0,
+            }),
+            store,
+            gc: GroupCommit::new(group_commit_batch),
+            paranoid,
         }
-        _ => (None, None),
+    }
+
+    // -- introspection ------------------------------------------------
+
+    pub(crate) fn engine_stats(&self) -> ServerStats {
+        self.protocol.lock().engine.stats().clone()
+    }
+
+    pub(crate) fn check_invariants(&self) {
+        self.protocol.lock().engine.check_invariants();
+    }
+
+    pub(crate) fn store(&self) -> &Store {
+        &self.store
+    }
+
+    pub(crate) fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    // -- the request pipeline -----------------------------------------
+
+    /// One worker's loop: requests from this worker's client shard, in
+    /// order, until shutdown.
+    pub(crate) fn worker_loop(&self, rx: Receiver<ToServer>, out: Sender<SeqBatch>) {
+        while let Ok(env) = rx.recv() {
+            match env {
+                ToServer::Shutdown => break,
+                ToServer::Req {
+                    from,
+                    req,
+                    commit_data,
+                } => self.handle_request(from, req, commit_data, &out),
+            }
+        }
+    }
+
+    fn handle_request(
+        &self,
+        from: ClientId,
+        req: Request,
+        commit_data: Vec<(fgs_core::Oid, Vec<u8>)>,
+        out: &Sender<SeqBatch>,
+    ) {
+        // Durability stage: a commit's updates are installed and its log
+        // records forced *before* the engine releases its locks. The
+        // engine lock is NOT held here — the transaction's own write
+        // locks keep the installed values invisible until the protocol
+        // stage below releases them.
+        if let Request::Commit { txn, .. } = &req {
+            if !commit_data.is_empty() {
+                if let Err(e) = self.install_commit(from, *txn, &commit_data) {
+                    eprintln!("fgs-server: commit install for {txn} failed: {e}; aborting");
+                    self.abort_server_side(*txn, out);
+                    return;
+                }
+            }
+            // Read-only commits (no shipped data) have nothing to force.
+        }
+        // Protocol stage: the in-memory state transition, single-writer.
+        let (outcome, seq) = {
+            let mut g = self.protocol.lock();
+            let outcome = g.engine.handle(from, req);
+            self.maybe_check(&g.engine);
+            let seq = g.next_seq;
+            g.next_seq += 1;
+            (outcome, seq)
+        };
+        self.dispatch(outcome.actions, seq, out);
+    }
+
+    /// Installs a commit's dirty objects and forces its commit record
+    /// (coalescing with concurrent commits). On an install error the
+    /// store-side updates are rolled back.
+    fn install_commit(
+        &self,
+        from: ClientId,
+        txn: TxnId,
+        commit_data: &[(fgs_core::Oid, Vec<u8>)],
+    ) -> std::io::Result<()> {
+        self.store.begin(txn);
+        for (oid, bytes) in commit_data {
+            if let Err(e) = self.store.update_object(txn, *oid, bytes) {
+                if let Err(undo) = self.store.abort(txn) {
+                    eprintln!("fgs-server: rollback of {txn} failed: {undo}");
+                }
+                return Err(e);
+            }
+        }
+        let lsn = self.store.append_commit(txn);
+        self.gc.force(&self.store, lsn, from);
+        Ok(())
+    }
+
+    /// Aborts `txn` server-side (storage failure) and sends the resulting
+    /// messages. Runs the same dispatch path, so grants unblocked by the
+    /// abort are attached and delivered normally.
+    fn abort_server_side(&self, txn: TxnId, out: &Sender<SeqBatch>) {
+        let (outcome, seq) = {
+            let mut g = self.protocol.lock();
+            let outcome = g.engine.abort_txn(txn, AbortReason::Server);
+            self.maybe_check(&g.engine);
+            let seq = g.next_seq;
+            g.next_seq += 1;
+            (outcome, seq)
+        };
+        self.dispatch(outcome.actions, seq, out);
+    }
+
+    /// Attach + hand-off stage: copies data payloads out of the store
+    /// (outside the engine lock) and forwards the stamped batch to the
+    /// sender thread. Transactions whose grants hit a storage error are
+    /// aborted, cascading until no new failures appear.
+    fn dispatch(&self, actions: Vec<ServerAction>, seq: u64, out: &Sender<SeqBatch>) {
+        let mut failed: Vec<TxnId> = Vec::new();
+        let msgs = self.attach_batch(actions, &mut failed);
+        let _ = out.send(SeqBatch { seq, msgs });
+        while let Some(txn) = failed.pop() {
+            let (outcome, seq) = {
+                let mut g = self.protocol.lock();
+                let outcome = g.engine.abort_txn(txn, AbortReason::Server);
+                self.maybe_check(&g.engine);
+                let seq = g.next_seq;
+                g.next_seq += 1;
+                (outcome, seq)
+            };
+            let msgs = self.attach_batch(outcome.actions, &mut failed);
+            let _ = out.send(SeqBatch { seq, msgs });
+        }
+    }
+
+    /// Attaches data to each outbound message. A message whose attach
+    /// fails is dropped and its transaction recorded in `failed`; the
+    /// subsequent server-side abort tells the client.
+    fn attach_batch(
+        &self,
+        actions: Vec<ServerAction>,
+        failed: &mut Vec<TxnId>,
+    ) -> Vec<(ClientId, ToClient)> {
+        let mut msgs = Vec::with_capacity(actions.len());
+        for action in actions {
+            let ServerAction::Send { to, msg } = action;
+            match self.attach_data(msg) {
+                Ok(env) => msgs.push((to, env)),
+                Err((txn, e)) => {
+                    eprintln!("fgs-server: attach for {txn} failed: {e}; aborting");
+                    if !failed.contains(&txn) {
+                        failed.push(txn);
+                    }
+                }
+            }
+        }
+        msgs
+    }
+
+    /// Attaches page images / object bytes to grants. Control messages
+    /// pass through untouched.
+    fn attach_data(&self, msg: ServerMsg) -> Result<ToClient, (TxnId, std::io::Error)> {
+        let (page_image, object_bytes) = match &msg {
+            ServerMsg::ReadGranted { txn, oid, data }
+            | ServerMsg::WriteGranted { txn, oid, data, .. } => {
+                let image = match data {
+                    DataGrant::Page { page, .. } => {
+                        Some(self.store.page_image(*page).map_err(|e| (*txn, e))?)
+                    }
+                    _ => None,
+                };
+                let bytes = match data {
+                    DataGrant::Page { .. } | DataGrant::Object { .. } => {
+                        self.store.read_object(*oid).map_err(|e| (*txn, e))?
+                    }
+                    DataGrant::None => None,
+                };
+                (image, bytes)
+            }
+            _ => (None, None),
+        };
+        Ok(ToClient {
+            msg,
+            page_image,
+            object_bytes,
+        })
+    }
+
+    fn maybe_check(&self, engine: &ServerEngine) {
+        if cfg!(debug_assertions) || self.paranoid {
+            engine.check_invariants();
+        }
+    }
+}
+
+/// The send stage: restores the engine's serialization order across
+/// workers. Batches arrive stamped with the sequence assigned under the
+/// engine lock; they are released to the per-client channels strictly in
+/// that order, so each client sees messages exactly as the engine
+/// produced them.
+pub(crate) fn sender_loop(rx: Receiver<SeqBatch>, client_txs: Vec<Sender<ClientMsg>>) {
+    let mut next: u64 = 0;
+    let mut held: HashMap<u64, Vec<(ClientId, ToClient)>> = HashMap::new();
+    let deliver = |msgs: Vec<(ClientId, ToClient)>| {
+        for (to, env) in msgs {
+            // A send error means the client runtime is gone (shutdown
+            // race); drop the message.
+            let _ = client_txs[to.0 as usize].send(ClientMsg::Server(env));
+        }
     };
-    ToClient {
-        msg,
-        page_image,
-        object_bytes,
+    for batch in rx.iter() {
+        held.insert(batch.seq, batch.msgs);
+        while let Some(msgs) = held.remove(&next) {
+            deliver(msgs);
+            next += 1;
+        }
+    }
+    // Channel closed (all workers gone). Gaps are only possible if a
+    // worker died mid-dispatch; deliver the stragglers in order anyway.
+    let mut rest: Vec<_> = held.into_iter().collect();
+    rest.sort_by_key(|&(seq, _)| seq);
+    for (_, msgs) in rest {
+        deliver(msgs);
     }
 }

@@ -1,7 +1,7 @@
 //! The application-facing session API.
 
 use crate::error::TxnError;
-use crate::wire::AppCmd;
+use crate::wire::{AppCmd, ClientMsg};
 use crossbeam::channel::{bounded, Sender};
 use fgs_core::{ClientStats, Oid};
 use std::time::Duration;
@@ -17,11 +17,11 @@ const RPC_TIMEOUT: Duration = Duration::from_secs(60);
 #[derive(Debug, Clone)]
 pub struct Session {
     client: u16,
-    tx: Sender<AppCmd>,
+    tx: Sender<ClientMsg>,
 }
 
 impl Session {
-    pub(crate) fn new(client: u16, tx: Sender<AppCmd>) -> Self {
+    pub(crate) fn new(client: u16, tx: Sender<ClientMsg>) -> Self {
         Session { client, tx }
     }
 
@@ -95,7 +95,9 @@ impl Session {
         T: Send,
     {
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx.send(make(reply_tx)).map_err(|_| TxnError::Closed)?;
+        self.tx
+            .send(ClientMsg::App(make(reply_tx)))
+            .map_err(|_| TxnError::Closed)?;
         reply_rx
             .recv_timeout(RPC_TIMEOUT)
             .map_err(|_| TxnError::Closed)?

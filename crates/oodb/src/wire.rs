@@ -33,6 +33,17 @@ pub(crate) struct ToClient {
     pub object_bytes: Option<Vec<u8>>,
 }
 
+/// The client runtime's single inbox: application commands and server
+/// messages arrive on one channel, so the runtime blocks on exactly one
+/// receiver (no polling, no select).
+#[derive(Debug)]
+pub(crate) enum ClientMsg {
+    /// A command from the application session.
+    App(AppCmd),
+    /// An envelope from the server.
+    Server(ToClient),
+}
+
 /// Application → client-runtime commands.
 #[derive(Debug)]
 pub(crate) enum AppCmd {

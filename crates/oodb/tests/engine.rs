@@ -15,6 +15,7 @@ fn config(protocol: Protocol) -> EngineConfig {
         n_clients: 4,
         client_cache_pages: 8,
         server_pool_pages: 8,
+        ..EngineConfig::default()
     }
 }
 

@@ -23,6 +23,8 @@ fn config(protocol: Protocol) -> EngineConfig {
         n_clients: 4,
         client_cache_pages: 4,
         server_pool_pages: 4,
+        paranoid: true, // invariant-check every request, even in release
+        ..EngineConfig::default()
     }
 }
 

@@ -31,36 +31,59 @@ struct PoolInner {
     misses: u64,
 }
 
-/// A fixed-capacity LRU buffer pool.
+/// A fixed-capacity LRU buffer pool, sharded by page id.
+///
+/// Each shard is an independent `Mutex<PoolInner>` with its own LRU and
+/// capacity slice, so page accesses on different shards — in particular
+/// read-mostly grant attaches versus a committer's installs — proceed
+/// concurrently instead of queueing on one pool-wide lock. A page's shard
+/// is a pure function of its id (`page % nshards`), so a page never
+/// migrates and the single-shard LRU semantics are unchanged; pools of
+/// fewer than [`MAX_SHARDS`] frames degenerate to one frame per shard.
 pub struct BufferPool {
     disk: Arc<dyn DiskManager>,
     wal: Arc<Wal>,
-    capacity: usize,
-    inner: Mutex<PoolInner>,
+    /// Frame capacity of each shard.
+    shard_capacity: usize,
+    shards: Vec<Mutex<PoolInner>>,
 }
+
+/// Upper bound on shard count; pools smaller than this get one shard per
+/// frame so tiny pools (the eviction tests use capacity 1) keep exact LRU.
+const MAX_SHARDS: usize = 8;
 
 impl BufferPool {
     /// A pool of `capacity` frames over `disk`, honouring `wal`'s flushed
     /// horizon on write-back.
     pub fn new(disk: Arc<dyn DiskManager>, wal: Arc<Wal>, capacity: usize) -> Self {
         assert!(capacity > 0);
+        let nshards = capacity.min(MAX_SHARDS);
+        let shards = (0..nshards)
+            .map(|_| {
+                Mutex::new(PoolInner {
+                    frames: HashMap::new(),
+                    lru: BTreeMap::new(),
+                    tick: 0,
+                    hits: 0,
+                    misses: 0,
+                })
+            })
+            .collect();
         BufferPool {
             disk,
             wal,
-            capacity,
-            inner: Mutex::new(PoolInner {
-                frames: HashMap::new(),
-                lru: BTreeMap::new(),
-                tick: 0,
-                hits: 0,
-                misses: 0,
-            }),
+            shard_capacity: capacity.div_ceil(nshards),
+            shards,
         }
+    }
+
+    fn shard(&self, page: PageId) -> &Mutex<PoolInner> {
+        &self.shards[page.0 as usize % self.shards.len()]
     }
 
     /// Runs `f` over the (read-only) page, faulting it in if necessary.
     pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&SlottedPage) -> R) -> io::Result<R> {
-        let mut g = self.inner.lock();
+        let mut g = self.shard(page).lock();
         self.fault_in(&mut g, page)?;
         let frame = g.frames.get(&page).expect("just faulted in");
         Ok(f(&frame.page))
@@ -74,7 +97,7 @@ impl BufferPool {
         lsn: Lsn,
         f: impl FnOnce(&mut SlottedPage) -> R,
     ) -> io::Result<R> {
-        let mut g = self.inner.lock();
+        let mut g = self.shard(page).lock();
         self.fault_in(&mut g, page)?;
         let frame = g.frames.get_mut(&page).expect("just faulted in");
         frame.dirty = true;
@@ -84,7 +107,7 @@ impl BufferPool {
 
     /// Pins `page` in memory.
     pub fn pin(&self, page: PageId) -> io::Result<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.shard(page).lock();
         self.fault_in(&mut g, page)?;
         g.frames.get_mut(&page).expect("faulted in").pins += 1;
         Ok(())
@@ -92,7 +115,7 @@ impl BufferPool {
 
     /// Releases one pin.
     pub fn unpin(&self, page: PageId) {
-        let mut g = self.inner.lock();
+        let mut g = self.shard(page).lock();
         if let Some(f) = g.frames.get_mut(&page) {
             debug_assert!(f.pins > 0, "unpin without pin");
             f.pins = f.pins.saturating_sub(1);
@@ -103,27 +126,31 @@ impl BufferPool {
     /// flushing the log first per the WAL rule.
     pub fn flush_all(&self) -> io::Result<()> {
         self.wal.flush();
-        let mut g = self.inner.lock();
-        let pages: Vec<PageId> = g.frames.keys().copied().collect();
-        for p in pages {
-            let frame = g.frames.get_mut(&p).expect("listed");
-            if frame.dirty {
-                self.disk.write_page(p, frame.page.as_bytes())?;
-                frame.dirty = false;
+        for shard in &self.shards {
+            let mut g = shard.lock();
+            let pages: Vec<PageId> = g.frames.keys().copied().collect();
+            for p in pages {
+                let frame = g.frames.get_mut(&p).expect("listed");
+                if frame.dirty {
+                    self.disk.write_page(p, frame.page.as_bytes())?;
+                    frame.dirty = false;
+                }
             }
         }
         self.disk.sync()
     }
 
-    /// (hits, misses) so far.
+    /// (hits, misses) so far, summed over shards.
     pub fn stats(&self) -> (u64, u64) {
-        let g = self.inner.lock();
-        (g.hits, g.misses)
+        self.shards.iter().fold((0, 0), |(h, m), shard| {
+            let g = shard.lock();
+            (h + g.hits, m + g.misses)
+        })
     }
 
     /// Number of resident frames.
     pub fn len(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.shards.iter().map(|s| s.lock().frames.len()).sum()
     }
 
     /// Whether no frames are resident.
@@ -144,7 +171,7 @@ impl BufferPool {
         }
         g.misses += 1;
         // Evict first so capacity holds after insertion.
-        while g.frames.len() >= self.capacity {
+        while g.frames.len() >= self.shard_capacity {
             let victim = g.lru.values().copied().find(|p| g.frames[p].pins == 0);
             let Some(victim) = victim else {
                 break; // everything pinned: allow transient overflow
@@ -250,6 +277,33 @@ mod tests {
         pool.with_page(PageId(3), |_| ()).unwrap();
         pool.with_page(PageId(4), |_| ()).unwrap();
         assert!(disk.pages_written() >= 1, "released page stolen");
+    }
+
+    #[test]
+    fn shards_allow_concurrent_access() {
+        let disk = Arc::new(MemDisk::new(256));
+        let wal = Arc::new(Wal::new());
+        let pool = Arc::new(BufferPool::new(disk, wal, 64));
+        let threads: Vec<_> = (0..8u32)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for i in 0..200u32 {
+                        let page = PageId(t * 16 + i % 16);
+                        pool.with_page_mut(page, u64::from(i), |p| {
+                            let _ = p.insert(&[t as u8]);
+                        })
+                        .unwrap();
+                        pool.with_page(page, |p| p.slot_count()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let (hits, misses) = pool.stats();
+        assert_eq!(hits + misses, 8 * 400, "every access accounted");
     }
 
     #[test]

@@ -35,5 +35,5 @@ pub use bufferpool::BufferPool;
 pub use disk::{DiskManager, FileDisk, MemDisk};
 pub use page::{PageError, Record, SlottedPage};
 pub use recovery::{recover, RecoveryReport};
-pub use store::Store;
+pub use store::{Store, StoreStats};
 pub use wal::{LogRecord, Lsn, Wal};

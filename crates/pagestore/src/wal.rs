@@ -232,6 +232,9 @@ pub struct Wal {
 struct WalInner {
     buf: Vec<u8>,
     flushed: u64,
+    /// Number of flushes that actually advanced the durable horizon (i.e.
+    /// distinct physical log forces; no-op flushes are not counted).
+    forces: u64,
 }
 
 impl Wal {
@@ -248,6 +251,7 @@ impl Wal {
             inner: Mutex::new(WalInner {
                 buf: bytes,
                 flushed,
+                forces: 0,
             }),
         }
     }
@@ -268,13 +272,39 @@ impl Wal {
     /// (the log force at commit). Returns the new horizon.
     pub fn flush(&self) -> u64 {
         let mut g = self.inner.lock();
-        g.flushed = g.buf.len() as u64;
+        if g.flushed < g.buf.len() as u64 {
+            g.flushed = g.buf.len() as u64;
+            g.forces += 1;
+        }
         g.flushed
+    }
+
+    /// Forces the log far enough to make the record at `lsn` durable,
+    /// coalescing with forces already performed by concurrent committers.
+    /// Returns `true` if this call performed a physical force, `false` if
+    /// an earlier force already covered `lsn` (the group-commit fast path).
+    ///
+    /// Because an LSN is the byte offset where a record *starts*, the
+    /// record is durable exactly when `flushed() > lsn`.
+    pub fn force_up_to(&self, lsn: Lsn) -> bool {
+        let mut g = self.inner.lock();
+        if g.flushed > lsn {
+            return false;
+        }
+        g.flushed = g.buf.len() as u64;
+        g.forces += 1;
+        true
     }
 
     /// The durable horizon in bytes.
     pub fn flushed(&self) -> u64 {
         self.inner.lock().flushed
+    }
+
+    /// Number of physical log forces performed (no-op flushes excluded);
+    /// the denominator of the group-commit batching ratio.
+    pub fn forces(&self) -> u64 {
+        self.inner.lock().forces
     }
 
     /// Total appended bytes (≥ flushed).
@@ -402,6 +432,22 @@ mod tests {
         bytes.truncate(bytes.len() - 3);
         let recovered = Wal::from_bytes(bytes);
         assert_eq!(recovered.replay().len(), 1);
+    }
+
+    #[test]
+    fn force_up_to_coalesces() {
+        let wal = Wal::new();
+        let a = wal.append(&LogRecord::Begin { txn: txn(1, 1) });
+        let b = wal.append(&LogRecord::Commit { txn: txn(1, 1) });
+        assert!(wal.force_up_to(b), "first force is physical");
+        assert!(!wal.force_up_to(a), "earlier lsn already covered");
+        assert!(!wal.force_up_to(b), "own lsn already covered");
+        assert_eq!(wal.forces(), 1);
+        wal.flush(); // nothing new appended: not a physical force
+        assert_eq!(wal.forces(), 1);
+        wal.append(&update(1));
+        wal.flush();
+        assert_eq!(wal.forces(), 2);
     }
 
     #[test]

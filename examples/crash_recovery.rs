@@ -22,6 +22,7 @@ fn main() {
         n_clients: 2,
         client_cache_pages: 16,
         server_pool_pages: 8, // small pool: forces steals of dirty pages
+        ..EngineConfig::default()
     };
     let disk = Arc::new(MemDisk::new(config.page_size));
     let db = Oodb::open_with_disk(config.clone(), disk.clone(), true).expect("open");

@@ -34,6 +34,7 @@ fn main() {
             n_clients: DESIGNERS,
             client_cache_pages: (PAGES_PER_DESIGNER + CATALOG_PAGES) as usize,
             server_pool_pages: 32,
+            ..EngineConfig::default()
         })
         .expect("open database"),
     );

@@ -21,6 +21,7 @@ fn main() {
         n_clients: 2,
         client_cache_pages: 16,
         server_pool_pages: 32,
+        ..EngineConfig::default()
     })
     .expect("open database");
 

@@ -29,6 +29,7 @@ fn run(protocol: Protocol) -> (f64, u64, u64, u64) {
             n_clients: CLIENTS,
             client_cache_pages: 16,
             server_pool_pages: 16,
+            ..EngineConfig::default()
         })
         .expect("open database"),
     );

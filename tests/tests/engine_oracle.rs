@@ -17,6 +17,7 @@ fn config(protocol: Protocol) -> EngineConfig {
         n_clients: 3,
         client_cache_pages: 3, // tiny: forces evictions and refetches
         server_pool_pages: 4,
+        ..EngineConfig::default()
     }
 }
 

@@ -1,0 +1,185 @@
+//! Hermetic stand-in for `criterion`. The build environment has no access
+//! to crates.io, so the workspace vendors a minimal wall-clock harness
+//! with the API subset its benches use: `criterion_group!`/
+//! `criterion_main!` (both forms), `benchmark_group`, `bench_function`,
+//! `throughput`, `Bencher::iter` and `iter_batched`.
+//!
+//! Instead of criterion's statistical sampling it times `sample_size`
+//! batches and reports the fastest batch's mean per-iteration cost (the
+//! minimum is the standard low-noise point estimate for micro-benchmarks).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-element/byte scaling declared by a bench; recorded for display only.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; the stand-in always runs one
+/// setup per measured invocation, so this only exists for API parity.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Benchmark driver; the `&mut Criterion` handed to each target function.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) {
+        run_bench(id, self.sample_size, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.criterion.sample_size, f);
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut best: Option<Duration> = None;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            let per_iter = b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX);
+            best = Some(best.map_or(per_iter, |cur| cur.min(per_iter)));
+        }
+    }
+    match best {
+        Some(t) => println!("bench {id:<40} {:>12.1} ns/iter", t.as_nanos() as f64),
+        None => println!("bench {id:<40} (no iterations)"),
+    }
+}
+
+/// Times closures; handed to each `bench_function` callback.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Batch size per sample: enough iterations to dominate timer noise
+    /// while keeping total bench time low.
+    const ITERS: u64 = 64;
+
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..Self::ITERS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += Self::ITERS;
+    }
+
+    /// Runs `setup` outside the timed region and `routine` inside it.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..Self::ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Both real-criterion forms: `criterion_group!(name, target...)` and
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,151 @@
+//! Hermetic stand-in for `serde_derive`. Derives the vendored `serde`
+//! facade (`to_value`/`from_value` over a JSON-shaped `Value` tree) for
+//! plain structs with named fields — the only shape the workspace derives.
+//!
+//! The input token stream is parsed by hand (no `syn`/`quote`, which are
+//! unavailable offline): skip attributes and visibility, expect `struct
+//! Name { field: Type, ... }`, and collect the field names. Generics,
+//! enums and tuple structs are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Impl::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Impl::Deserialize)
+}
+
+enum Impl {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Impl) -> TokenStream {
+    let (name, fields) = match parse_struct(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});")
+                .parse()
+                .expect("error tokens")
+        }
+    };
+    let body = match which {
+        Impl::Serialize => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| format!("(String::from({f:?}), serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Obj(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Impl::Deserialize => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: serde::obj_field(v, {f:?})?,"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("generated impl parses")
+}
+
+/// Extracts the struct name and its named-field identifiers.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut tokens = input.into_iter();
+    // Skip outer attributes and visibility until the `struct` keyword.
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("the vendored serde_derive only supports structs".into());
+            }
+            Some(_) => continue,
+            None => return Err("expected a struct definition".into()),
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected a struct name".into()),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("the vendored serde_derive does not support generics".into());
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("the vendored serde_derive does not support tuple structs".into());
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err("the vendored serde_derive does not support unit structs".into());
+            }
+            Some(_) => continue,
+            None => return Err("expected a struct body".into()),
+        }
+    };
+    Ok((name, parse_fields(body.stream())?))
+}
+
+/// Walks `field: Type, ...`, skipping field attributes/visibility and any
+/// type tokens. Angle-bracket depth is tracked so commas inside `Vec<...>`
+/// and friends do not end a field; parenthesized types arrive as single
+/// group tokens and need no special handling.
+fn parse_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    enum State {
+        FieldStart,
+        AfterName,
+        InType,
+    }
+    let mut fields = Vec::new();
+    let mut state = State::FieldStart;
+    let mut pending: Option<String> = None;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match state {
+            State::FieldStart => match tok {
+                // `#[attr]` / doc comments: `#` then a bracket group.
+                TokenTree::Punct(ref p) if p.as_char() == '#' => {}
+                TokenTree::Group(ref g) if g.delimiter() == Delimiter::Bracket => {}
+                // `pub` / `pub(crate)`.
+                TokenTree::Ident(ref id) if id.to_string() == "pub" => {}
+                TokenTree::Group(ref g) if g.delimiter() == Delimiter::Parenthesis => {}
+                TokenTree::Ident(id) => {
+                    pending = Some(id.to_string());
+                    state = State::AfterName;
+                }
+                other => return Err(format!("unexpected token at field start: {other}")),
+            },
+            State::AfterName => match tok {
+                TokenTree::Punct(ref p) if p.as_char() == ':' => {
+                    fields.push(pending.take().expect("field name pending"));
+                    state = State::InType;
+                }
+                other => return Err(format!("expected `:` after field name, got {other}")),
+            },
+            State::InType => match tok {
+                TokenTree::Punct(ref p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(ref p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(ref p) if p.as_char() == ',' && angle_depth == 0 => {
+                    state = State::FieldStart;
+                }
+                _ => {}
+            },
+        }
+    }
+    Ok(fields)
+}
