@@ -1,0 +1,55 @@
+// Fixture: a well-behaved module that follows the declared lock order
+// (GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk) everywhere.
+// fgs-lint must report nothing here.
+
+struct GcState {
+    pending: Vec<u64>,
+}
+
+struct ProtocolStage {
+    engine: u32,
+}
+
+struct PoolInner {
+    frames: Vec<u8>,
+}
+
+struct WalInner {
+    buf: Vec<u8>,
+}
+
+struct Srv {
+    gc: Mutex<GcState>,
+    protocol: Mutex<ProtocolStage>,
+    shard0: Mutex<PoolInner>,
+    wal: Mutex<WalInner>,
+}
+
+impl Srv {
+    fn full_descent(&self) {
+        let g = self.gc.lock();
+        let p = self.protocol.lock();
+        drop(p);
+        let s = self.shard0.lock();
+        let w = self.wal.lock();
+        drop(w);
+        drop(s);
+        drop(g);
+    }
+
+    fn scoped_blocks(&self) {
+        {
+            let w = self.wal.lock();
+            let _ = w;
+        }
+        let g = self.gc.lock();
+        drop(g);
+    }
+
+    fn temp_guard_then_lower(&self) -> usize {
+        let n = self.wal.lock().buf.len();
+        let g = self.gc.lock();
+        drop(g);
+        n
+    }
+}

@@ -1,0 +1,38 @@
+// Fixture: a PoolShard guard held across a closure that re-enters the
+// protocol engine. fgs-lint must flag the re-entry as reentrant_closure.
+
+struct PoolInner {
+    frames: Vec<u8>,
+}
+
+struct ServerEngine {
+    seq: u64,
+}
+
+impl ServerEngine {
+    fn handle(&mut self, from: u32, req: u32) {
+        self.seq += u64::from(from + req);
+    }
+}
+
+struct Srv {
+    shard0: Mutex<PoolInner>,
+}
+
+impl Srv {
+    fn run<F: FnOnce()>(&self, f: F) {
+        f()
+    }
+
+    fn bad(&self, engine: &mut ServerEngine) {
+        let g = self.shard0.lock();
+        self.run(|| engine.handle(0, 1));
+        drop(g);
+    }
+
+    fn fine(&self, engine: &mut ServerEngine) {
+        self.run(|| engine.handle(0, 1));
+        let g = self.shard0.lock();
+        drop(g);
+    }
+}

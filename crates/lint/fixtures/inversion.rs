@@ -1,0 +1,36 @@
+// Fixture: deliberate lock-order inversions. fgs-lint must flag both the
+// direct inversion and the transitive one through `helper`, naming the
+// offending lock pair.
+
+struct GcState {
+    pending: Vec<u64>,
+}
+
+struct WalInner {
+    buf: Vec<u8>,
+}
+
+struct Srv {
+    gc: Mutex<GcState>,
+    wal: Mutex<WalInner>,
+}
+
+impl Srv {
+    fn direct_inversion(&self) {
+        let w = self.wal.lock();
+        let g = self.gc.lock();
+        drop(g);
+        drop(w);
+    }
+
+    fn helper(&self) {
+        let g = self.gc.lock();
+        drop(g);
+    }
+
+    fn transitive_inversion(&self) {
+        let w = self.wal.lock();
+        self.helper();
+        drop(w);
+    }
+}

@@ -1,0 +1,49 @@
+// Fixture: disk/WAL I/O and a channel send while the ProtocolStage guard
+// is live. fgs-lint must flag all three sites as io_under_protocol.
+
+struct ProtocolStage {
+    engine: u32,
+}
+
+struct WalInner {
+    buf: Vec<u8>,
+}
+
+struct Wal {
+    inner: Mutex<WalInner>,
+}
+
+impl Wal {
+    fn force(&self) -> u64 {
+        let g = self.inner.lock();
+        let n = g.buf.len() as u64;
+        drop(g);
+        n
+    }
+}
+
+struct Srv {
+    protocol: Mutex<ProtocolStage>,
+    wal: Wal,
+}
+
+impl Srv {
+    fn wal_io_under_guard(&self) {
+        let g = self.protocol.lock();
+        self.wal.force();
+        drop(g);
+    }
+
+    fn channel_send_under_guard(&self, tx: &Sender<u64>) {
+        let g = self.protocol.lock();
+        tx.send(7);
+        drop(g);
+    }
+
+    fn direct_wal_lock_under_guard(&self) {
+        let g = self.protocol.lock();
+        let w = self.wal.inner.lock();
+        drop(w);
+        drop(g);
+    }
+}

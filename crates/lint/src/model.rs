@@ -1,0 +1,159 @@
+//! The declared lock-order DAG and violation model.
+//!
+//! The workspace discipline (see DESIGN.md, "Lock ordering and concurrency
+//! invariants") is a total order over the lock classes; a thread may only
+//! acquire a lock whose class is strictly *later* in the order than every
+//! lock it already holds:
+//!
+//! ```text
+//! GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk
+//! ```
+
+use std::fmt;
+
+/// A lock class in the declared order. The discriminant is the rank:
+/// acquiring class `c` while holding class `h` is legal iff
+/// `c as u8 > h as u8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockClass {
+    /// Group-commit coalescing state (`server.rs`).
+    GcState = 0,
+    /// A pipeline stage's protocol/engine mutex (`server.rs`).
+    ProtocolStage = 1,
+    /// One buffer-pool shard (`bufferpool.rs`).
+    PoolShard = 2,
+    /// The WAL's inner buffer + durable horizon (`wal.rs`).
+    WalInner = 3,
+    /// The disk manager's page table (`disk.rs`).
+    Disk = 4,
+}
+
+impl LockClass {
+    /// Rank in the declared order (lower = must be acquired first).
+    pub fn rank(self) -> u8 {
+        self as u8
+    }
+
+    /// All classes, in order.
+    pub const ALL: [LockClass; 5] = [
+        LockClass::GcState,
+        LockClass::ProtocolStage,
+        LockClass::PoolShard,
+        LockClass::WalInner,
+        LockClass::Disk,
+    ];
+
+    /// Map a type name appearing as the protected inner type of a
+    /// `Mutex<T>` (or the self type of an `impl` whose methods lock
+    /// internally) to its lock class.
+    pub fn from_inner_type(name: &str) -> Option<LockClass> {
+        Some(match name {
+            "GcState" => LockClass::GcState,
+            "ProtocolStage" | "EngineStage" => LockClass::ProtocolStage,
+            "PoolShard" | "PoolInner" | "ShardInner" => LockClass::PoolShard,
+            "WalInner" => LockClass::WalInner,
+            "DiskInner" => LockClass::Disk,
+            _ => return None,
+        })
+    }
+
+    /// Types whose *methods* internally acquire a class even though the
+    /// caller never sees a guard (e.g. `MemDisk::write_page` locks the
+    /// disk page table).
+    pub fn from_owner_type(name: &str) -> Option<LockClass> {
+        Some(match name {
+            "MemDisk" | "FileDisk" | "DiskManager" => LockClass::Disk,
+            "Wal" => LockClass::WalInner,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for LockClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockClass::GcState => "GcState",
+            LockClass::ProtocolStage => "ProtocolStage",
+            LockClass::PoolShard => "PoolShard",
+            LockClass::WalInner => "WalInner",
+            LockClass::Disk => "Disk",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which discipline rule a violation falls under. The names double as the
+/// directive vocabulary: `// fgs-lint: allow(lock_order)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Acquired a lock out of DAG order (or re-entered the same class).
+    LockOrder,
+    /// Disk/WAL I/O or a channel send/recv while a `ProtocolStage` guard
+    /// is live.
+    IoUnderProtocol,
+    /// A guard held across a closure body that can re-enter the engine.
+    ReentrantClosure,
+}
+
+impl Rule {
+    /// The directive name that suppresses this rule.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::LockOrder => "lock_order",
+            Rule::IoUnderProtocol => "io_under_protocol",
+            Rule::ReentrantClosure => "reentrant_closure",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule was broken.
+    pub rule: Rule,
+    /// File the violation occurs in.
+    pub file: String,
+    /// 1-based line of the offending acquisition/call.
+    pub line: u32,
+    /// Human-readable explanation, including the offending lock pair.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_follow_the_declared_dag() {
+        let ranks: Vec<u8> = LockClass::ALL.iter().map(|c| c.rank()).collect();
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4]);
+        assert!(LockClass::GcState < LockClass::ProtocolStage);
+        assert!(LockClass::WalInner < LockClass::Disk);
+    }
+
+    #[test]
+    fn inner_type_mapping() {
+        assert_eq!(
+            LockClass::from_inner_type("PoolInner"),
+            Some(LockClass::PoolShard)
+        );
+        assert_eq!(LockClass::from_inner_type("Foo"), None);
+        assert_eq!(LockClass::from_owner_type("MemDisk"), Some(LockClass::Disk));
+    }
+}

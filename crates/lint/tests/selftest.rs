@@ -1,0 +1,134 @@
+//! fgs-lint self-test: the lint must flag every seeded violation in the
+//! fixtures, stay silent on the clean and suppressed fixtures, and — run
+//! as the real binary — exit non-zero on an inversion and zero on the
+//! actual workspace.
+
+use fgs_lint::{check_files, check_sources, Rule, Violation};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn lint_fixture(name: &str) -> Vec<Violation> {
+    check_files(&[fixture(name)]).expect("fixture readable")
+}
+
+#[test]
+fn clean_fixture_has_no_violations() {
+    let v = lint_fixture("clean.rs");
+    assert!(v.is_empty(), "unexpected: {v:?}");
+}
+
+#[test]
+fn inversion_fixture_flags_both_inversions() {
+    let v = lint_fixture("inversion.rs");
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v.iter().all(|x| x.rule == Rule::LockOrder));
+    // The direct inversion names the offending pair.
+    assert!(v[0].message.contains("GcState") && v[0].message.contains("WalInner"));
+    // The transitive one names the callee it goes through.
+    assert!(v.iter().any(|x| x.message.contains("helper")), "{v:?}");
+}
+
+#[test]
+fn io_under_protocol_fixture_flags_all_three_sites() {
+    let v = lint_fixture("io_under_protocol.rs");
+    assert_eq!(v.len(), 3, "{v:?}");
+    assert!(v.iter().all(|x| x.rule == Rule::IoUnderProtocol));
+    assert!(v.iter().any(|x| x.message.contains("Wal::force")), "{v:?}");
+    assert!(v.iter().any(|x| x.message.contains("channel")), "{v:?}");
+}
+
+#[test]
+fn closure_reentry_fixture_flags_only_the_held_guard_case() {
+    let v = lint_fixture("closure_reentry.rs");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, Rule::ReentrantClosure);
+    assert!(v[0].message.contains("PoolShard"), "{v:?}");
+}
+
+#[test]
+fn allowed_fixture_is_fully_suppressed() {
+    let v = lint_fixture("allowed.rs");
+    assert!(v.is_empty(), "escape hatches failed: {v:?}");
+}
+
+/// Seeding an inversion *into the real workspace sources* is caught: this
+/// proves the cross-file effect propagation works on the actual crates,
+/// not just on self-contained fixtures.
+#[test]
+fn seeded_inversion_against_real_workspace_sources() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let files = fgs_lint::workspace_files(&root).expect("workspace scan");
+    assert!(
+        files.len() >= 40,
+        "workspace scan looks wrong: {} files",
+        files.len()
+    );
+    let mut sources: Vec<(String, String)> = files
+        .iter()
+        .map(|p| {
+            (
+                p.display().to_string(),
+                std::fs::read_to_string(p).expect("readable"),
+            )
+        })
+        .collect();
+    // Sanity: the real workspace is clean before seeding.
+    let pre = check_sources(&sources);
+    assert!(pre.is_empty(), "workspace not clean: {pre:?}");
+    // Seed: hold the WAL lock while calling BufferPool::stats, which
+    // acquires PoolShard — an inversion reachable only by resolving the
+    // real `shard.lock()` sites inside fgs-pagestore.
+    sources.push((
+        "seeded.rs".to_string(),
+        r#"
+        struct Seeded { wal: Mutex<WalInner> }
+        impl Seeded {
+            fn bad(&self, pool: &BufferPool) {
+                let g = self.wal.lock();
+                pool.stats();
+                drop(g);
+            }
+        }
+        "#
+        .to_string(),
+    ));
+    let post = check_sources(&sources);
+    assert!(
+        post.iter().any(|v| {
+            v.file == "seeded.rs"
+                && v.rule == Rule::LockOrder
+                && v.message.contains("PoolShard")
+                && v.message.contains("WalInner")
+        }),
+        "seeded inversion not caught: {post:?}"
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_inversion_and_zero_on_workspace() {
+    let bin = env!("CARGO_BIN_EXE_fgs-lint");
+    let bad = Command::new(bin)
+        .arg(fixture("inversion.rs"))
+        .output()
+        .expect("run fgs-lint");
+    assert_eq!(bad.status.code(), Some(1), "expected exit 1 on inversion");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(
+        stdout.contains("lock_order") && stdout.contains("inversion.rs"),
+        "report missing file/rule: {stdout}"
+    );
+
+    let clean = Command::new(bin).output().expect("run fgs-lint");
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "workspace should lint clean: {}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+}

@@ -51,6 +51,7 @@ mod config;
 mod error;
 mod server;
 mod session;
+mod sync;
 mod wire;
 
 pub use config::EngineConfig;

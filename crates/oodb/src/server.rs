@@ -24,12 +24,12 @@
 //!   sequence number, so every client observes the engine's order even
 //!   though attaches finish out of order.
 
+use crate::sync::{Condvar, Mutex};
 use crate::wire::{ClientMsg, ToClient, ToServer};
 use crossbeam::channel::{Receiver, Sender};
 use fgs_core::server::{ServerAction, ServerEngine, ServerStats};
 use fgs_core::{AbortReason, ClientId, DataGrant, Request, ServerMsg, TxnId};
 use fgs_pagestore::{Lsn, Store, StoreStats};
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -385,5 +385,74 @@ pub(crate) fn sender_loop(rx: Receiver<SeqBatch>, client_txs: Vec<Sender<ClientM
     rest.sort_by_key(|&(seq, _)| seq);
     for (_, msgs) in rest {
         deliver(msgs);
+    }
+}
+
+/// Model checking for group-commit leader/follower coalescing, run only
+/// under `RUSTFLAGS="--cfg loom"` (see DESIGN.md §"Lock ordering and
+/// concurrency invariants"). [`GroupCommit`]'s mutex and condvar resolve to
+/// `loom::sync` types through [`crate::sync`], so the explored schedules
+/// drive the production `force` path: leader election, the gather window,
+/// pending-list draining, and the drained-vs-piggyback accounting split.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use fgs_core::TxnId;
+    use fgs_pagestore::MemDisk;
+    use loom::thread;
+    use std::sync::Arc;
+
+    fn store() -> Arc<Store> {
+        // Commit forcing never touches data pages; an empty store is enough.
+        Arc::new(Store::new(Arc::new(MemDisk::new(256)), 8, 1000))
+    }
+
+    /// N concurrent committers, each forcing its own commit LSN: every
+    /// `force` call must return only once its LSN is durable, every commit
+    /// must be accounted exactly once (the drained-by-leader versus
+    /// piggyback split is where double counting or a lost entry would
+    /// hide), and the gather state must drain back to idle.
+    fn run_committers(batch: usize, n: u16) {
+        let store = store();
+        let gc = Arc::new(GroupCommit::new(batch));
+        let threads: Vec<_> = (0..n)
+            .map(|c| {
+                let store = Arc::clone(&store);
+                let gc = Arc::clone(&gc);
+                thread::spawn(move || {
+                    let txn = TxnId::new(ClientId(c), 1);
+                    store.begin(txn);
+                    let lsn = store.append_commit(txn);
+                    gc.force(&store, lsn, ClientId(c));
+                    // The contract: durable on return.
+                    assert!(
+                        store.wal().flushed() > lsn,
+                        "force returned before lsn {lsn} was durable"
+                    );
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.commits, u64::from(n), "each commit counted once");
+        assert!(
+            stats.log_forces <= u64::from(n),
+            "coalescing never forces more than once per commit"
+        );
+        let g = gc.state.lock();
+        assert!(!g.forcing, "leader flag released");
+        assert!(g.pending.is_empty(), "pending drained");
+    }
+
+    #[test]
+    fn group_commit_coalesces_concurrent_committers() {
+        loom::model(|| run_committers(3, 3));
+    }
+
+    #[test]
+    fn group_commit_immediate_path_with_batch_of_one() {
+        loom::model(|| run_committers(1, 2));
     }
 }

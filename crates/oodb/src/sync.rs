@@ -1,0 +1,9 @@
+//! Lock shim: `parking_lot` in normal builds, the `loom` model-checking
+//! types under `RUSTFLAGS="--cfg loom"`. Group commit's leader/follower
+//! coalescing is written once against this shim and model-tested unchanged.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::{Condvar, Mutex};
+
+#[cfg(not(loom))]
+pub(crate) use parking_lot::{Condvar, Mutex};

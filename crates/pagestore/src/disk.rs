@@ -1,7 +1,7 @@
 //! Disk managers: page-granularity stable storage.
 
+use crate::sync::Mutex;
 use fgs_core::PageId;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};

@@ -29,6 +29,7 @@ mod disk;
 mod page;
 mod recovery;
 mod store;
+pub mod sync;
 mod wal;
 
 pub use bufferpool::BufferPool;

@@ -1,0 +1,10 @@
+//! Lock shim: `parking_lot` in normal builds, the `loom` model-checking
+//! types under `RUSTFLAGS="--cfg loom"`. Both expose the same non-poisoning
+//! `Mutex`/`Condvar` API, so the storage layer is written once and model
+//! tests exercise the *same* code paths the production build runs.
+
+#[cfg(loom)]
+pub use loom::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard};

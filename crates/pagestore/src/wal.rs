@@ -8,8 +8,8 @@
 //! Record wire format: `len: u32 | crc: u32 | body` where the body is a
 //! tag byte plus fields. A torn tail (bad length/CRC) cleanly ends replay.
 
+use crate::sync::Mutex;
 use fgs_core::{Oid, PageId, SlotId, TxnId};
-use parking_lot::Mutex;
 
 /// A log sequence number: byte offset of a record in the log stream.
 pub type Lsn = u64;
@@ -288,7 +288,9 @@ impl Wal {
     /// record is durable exactly when `flushed() > lsn`.
     pub fn force_up_to(&self, lsn: Lsn) -> bool {
         let mut g = self.inner.lock();
-        if g.flushed > lsn {
+        // Already covered, or nothing appended beyond the durable horizon
+        // (an `lsn` at or past the tail names no record yet): no-op.
+        if g.flushed > lsn || g.flushed == g.buf.len() as u64 {
             return false;
         }
         g.flushed = g.buf.len() as u64;

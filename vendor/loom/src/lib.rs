@@ -1,0 +1,331 @@
+//! Hermetic stand-in for the `loom` model checker. The build environment
+//! has no access to crates.io, so the workspace vendors the API subset its
+//! concurrency model tests use: [`model`], `loom::thread::{spawn,
+//! yield_now}` and `loom::sync::{Mutex, Condvar, Arc, atomic}`.
+//!
+//! Differences from the real crate: real loom runs each model under a
+//! cooperative scheduler and *exhaustively* enumerates interleavings with
+//! DPOR pruning. This stand-in runs the model body many times on real OS
+//! threads and injects randomized preemptions (yields and short sleeps) at
+//! every synchronization point — a stochastic, not exhaustive, exploration.
+//! It keeps the same shape (tests are written against the loom API and run
+//! only under `--cfg loom`), so swapping in the real crate later is a
+//! dependency change, not a test rewrite.
+//!
+//! The schedule perturbation is deterministic per iteration: every sync
+//! point draws from a splitmix64 stream seeded by the iteration number (and
+//! `LOOM_SEED` if set), so a failing iteration can be replayed by pinning
+//! `LOOM_SEED`/`LOOM_ITERS`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// True while a [`model`] execution is in flight (sync points only perturb
+/// schedules inside a model; the types behave like plain locks elsewhere).
+static MODEL_ACTIVE: AtomicBool = AtomicBool::new(false);
+/// Seed of the current model iteration.
+static ITER_SEED: AtomicU64 = AtomicU64::new(0);
+/// Per-model counter handing each participating thread a distinct stream.
+static THREAD_SALT: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of iterations a [`model`] runs (`LOOM_ITERS`, default 64).
+fn iterations() -> u64 {
+    std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+fn base_seed() -> u64 {
+    std::env::var("LOOM_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x05EE_DF65_1994)
+}
+
+/// Runs `f` under schedule exploration: many iterations, each with a
+/// deterministic randomized preemption schedule injected at every lock,
+/// condvar and spawn operation. Panics (assertion failures, deadlocks
+/// surfacing as test timeouts) propagate to the caller.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters = iterations();
+    let base = base_seed();
+    for i in 0..iters {
+        ITER_SEED.store(
+            base ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            Ordering::SeqCst,
+        );
+        THREAD_SALT.store(0, Ordering::SeqCst);
+        MODEL_ACTIVE.store(true, Ordering::SeqCst);
+        // `model` bodies are self-contained; a panicking iteration should
+        // fail the test with the iteration number attached for replay.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        MODEL_ACTIVE.store(false, Ordering::SeqCst);
+        if let Err(payload) = result {
+            eprintln!(
+                "loom (stand-in): model failed at iteration {i} \
+                 (replay with LOOM_SEED={base} LOOM_ITERS={})",
+                i + 1
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+mod rng {
+    use super::{ITER_SEED, MODEL_ACTIVE, THREAD_SALT};
+    use std::cell::Cell;
+    use std::sync::atomic::Ordering;
+
+    thread_local! {
+        static STATE: Cell<u64> = const { Cell::new(0) };
+        static SEEDED_FOR: Cell<u64> = const { Cell::new(u64::MAX) };
+    }
+
+    fn next(state: &Cell<u64>) -> u64 {
+        let mut z = state.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        state.set(z);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A preemption decision at one sync point: 0 = run on, 1 = yield,
+    /// 2 = sleep briefly (lets lower-priority interleavings win the lock).
+    pub(crate) fn decide() -> u8 {
+        if !MODEL_ACTIVE.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let iter = ITER_SEED.load(Ordering::Relaxed);
+        let draw = STATE.with(|state| {
+            SEEDED_FOR.with(|seeded| {
+                if seeded.get() != iter {
+                    seeded.set(iter);
+                    let salt = THREAD_SALT.fetch_add(1, Ordering::Relaxed) as u64;
+                    state.set(iter ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+                }
+            });
+            next(state)
+        });
+        match draw % 16 {
+            0..=3 => 1, // 25%: yield
+            4 => 2,     // ~6%: micro-sleep
+            _ => 0,
+        }
+    }
+}
+
+/// Scheduling instrumentation shared by the sync types.
+pub mod sched {
+    use super::rng;
+    use std::time::Duration;
+
+    /// A synchronization point: under an active model, maybe preempt.
+    pub fn point() {
+        match rng::decide() {
+            1 => std::thread::yield_now(),
+            2 => std::thread::sleep(Duration::from_micros(50)),
+            _ => {}
+        }
+    }
+}
+
+/// `loom::thread`: spawn/yield with schedule points at thread boundaries.
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawns a model thread; the child starts at a schedule point so the
+    /// parent/child race is actually explored.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::sched::point();
+        std::thread::spawn(move || {
+            super::sched::point();
+            f()
+        })
+    }
+
+    /// Cooperative yield.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// `loom::sync`: instrumented counterparts of the `parking_lot` API subset
+/// the workspace uses (same non-poisoning semantics, same signatures, so a
+/// `#[cfg(loom)]` shim can swap them in wholesale).
+pub mod sync {
+    use super::sched::point;
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+    use std::sync;
+    use std::time::Duration;
+
+    pub use std::sync::Arc;
+
+    /// `loom::sync::atomic` — re-exported std atomics. (The stand-in
+    /// explores lock/condvar schedules; atomics are not interposed.)
+    pub mod atomic {
+        pub use std::sync::atomic::*;
+    }
+
+    /// Mutex with schedule points before acquisition and after release.
+    #[derive(Default)]
+    pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub const fn new(value: T) -> Self {
+            Mutex(sync::Mutex::new(value))
+        }
+
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            point();
+            MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+        }
+
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            point();
+            match self.0.try_lock() {
+                Ok(g) => Some(MutexGuard(Some(g))),
+                Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
+                Err(sync::TryLockError::WouldBlock) => None,
+            }
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+
+    /// Guard for [`Mutex`]; releasing it is a schedule point. The inner
+    /// `Option` exists so [`Condvar::wait`] can take the std guard.
+    pub struct MutexGuard<'a, T: ?Sized>(Option<sync::MutexGuard<'a, T>>);
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.0.as_ref().expect("guard present")
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.0.as_mut().expect("guard present")
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            self.0.take();
+            point();
+        }
+    }
+
+    /// Condvar matching the `parking_lot` `&mut guard` API, with schedule
+    /// points around waits and wakeups (the lost-wakeup search space).
+    #[derive(Default)]
+    pub struct Condvar(sync::Condvar);
+
+    impl Condvar {
+        pub const fn new() -> Self {
+            Condvar(sync::Condvar::new())
+        }
+
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            point();
+            let inner = guard.0.take().expect("guard present");
+            guard.0 = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+            point();
+        }
+
+        /// Waits with a timeout; returns `true` if the wait timed out.
+        pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+            point();
+            let inner = guard.0.take().expect("guard present");
+            let (inner, res) = match self.0.wait_timeout(inner, timeout) {
+                Ok((g, r)) => (g, r),
+                Err(e) => {
+                    let (g, r) = e.into_inner();
+                    (g, r)
+                }
+            };
+            guard.0 = Some(inner);
+            point();
+            res.timed_out()
+        }
+
+        pub fn notify_one(&self) {
+            point();
+            self.0.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            point();
+            self.0.notify_all();
+        }
+    }
+
+    impl fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Condvar")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::{model, thread};
+
+    #[test]
+    fn model_explores_counter_race() {
+        model(|| {
+            let n = Arc::new(Mutex::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || *n.lock() += 1)
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*n.lock(), 2);
+        });
+    }
+
+    #[test]
+    fn condvar_wakeup_not_lost() {
+        model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (lock, cv) = &*p2;
+                let mut ready = lock.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+            });
+            *pair.0.lock() = true;
+            pair.1.notify_all();
+            t.join().unwrap();
+        });
+    }
+}
