@@ -4,7 +4,7 @@
 
 use crate::config::EngineConfig;
 use crate::error::TxnError;
-use crate::wire::{AppCmd, ClientMsg, ToClient, ToServer};
+use crate::wire::{into_owned, AppCmd, ClientMsg, SharedBytes, ToClient, ToServer};
 use crossbeam::channel::{Receiver, Sender};
 use fgs_core::client::{ClientAction, ClientEngine, TxnOutcome};
 use fgs_core::{
@@ -204,7 +204,7 @@ impl ClientRuntime {
                 }
                 DataGrant::Object { oid } => {
                     let bytes = env.object_bytes.expect("object grant carries bytes");
-                    self.objects.insert(*oid, bytes);
+                    self.objects.insert(*oid, into_owned(bytes));
                 }
                 DataGrant::None => {}
             },
@@ -220,13 +220,14 @@ impl ClientRuntime {
     }
 
     /// Installs a fresh page image, preserving the active transaction's
-    /// local updates (the paper's copy-merge).
+    /// local updates (the paper's copy-merge). The shared image is
+    /// reclaimed in place when this client is its sole recipient.
     fn install_page_image(
         &mut self,
         page: PageId,
-        image: Vec<u8>,
+        image: SharedBytes,
         requested: Oid,
-        object_bytes: Option<Vec<u8>>,
+        object_bytes: Option<SharedBytes>,
     ) {
         // Capture our uncommitted bytes before the image is replaced.
         let dirty_slots: Vec<SlotId> = self
@@ -241,7 +242,8 @@ impl ClientRuntime {
                 (oid, self.read_local(oid).expect("dirty object readable"))
             })
             .collect();
-        self.pages.insert(page, SlottedPage::from_bytes(image));
+        self.pages
+            .insert(page, SlottedPage::from_bytes(into_owned(image)));
         self.overlay.retain(|o, _| o.page != page);
         for (oid, bytes) in saved {
             self.apply_local_write(oid, bytes);
@@ -249,7 +251,7 @@ impl ClientRuntime {
         // Resolve the requested object if its home slot holds a stub.
         if let Some(bytes) = object_bytes {
             if self.slot_is_stub(requested) {
-                self.overlay.insert(requested, bytes);
+                self.overlay.insert(requested, into_owned(bytes));
             }
         }
     }

@@ -25,12 +25,13 @@
 //!   though attaches finish out of order.
 
 use crate::sync::{Condvar, Mutex};
-use crate::wire::{ClientMsg, ToClient, ToServer};
+use crate::wire::{ClientMsg, SharedBytes, ToClient, ToServer};
 use crossbeam::channel::{Receiver, Sender};
 use fgs_core::server::{ServerAction, ServerEngine, ServerStats};
-use fgs_core::{AbortReason, ClientId, DataGrant, Request, ServerMsg, TxnId};
+use fgs_core::{AbortReason, ClientId, DataGrant, Oid, PageId, Request, ServerMsg, TxnId};
 use fgs_pagestore::{Lsn, Store, StoreStats};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How long a group-commit leader waits for more commits to join its
@@ -300,15 +301,22 @@ impl ServerRuntime {
     /// Attaches data to each outbound message. A message whose attach
     /// fails is dropped and its transaction recorded in `failed`; the
     /// subsequent server-side abort tells the client.
+    ///
+    /// Payloads are memoized per batch: when one engine batch grants the
+    /// same page (or object) to several clients — read grants after a
+    /// commit releases a lock, callback-completion fan-out — the bytes
+    /// are copied out of the store once and shared via [`SharedBytes`].
     fn attach_batch(
         &self,
         actions: Vec<ServerAction>,
         failed: &mut Vec<TxnId>,
     ) -> Vec<(ClientId, ToClient)> {
+        let mut pages: HashMap<PageId, SharedBytes> = HashMap::new();
+        let mut objects: HashMap<Oid, Option<SharedBytes>> = HashMap::new();
         let mut msgs = Vec::with_capacity(actions.len());
         for action in actions {
             let ServerAction::Send { to, msg } = action;
-            match self.attach_data(msg) {
+            match self.attach_data(msg, &mut pages, &mut objects) {
                 Ok(env) => msgs.push((to, env)),
                 Err((txn, e)) => {
                     eprintln!("fgs-server: attach for {txn} failed: {e}; aborting");
@@ -321,22 +329,43 @@ impl ServerRuntime {
         msgs
     }
 
-    /// Attaches page images / object bytes to grants. Control messages
-    /// pass through untouched.
-    fn attach_data(&self, msg: ServerMsg) -> Result<ToClient, (TxnId, std::io::Error)> {
+    /// Attaches page images / object bytes to grants, consulting the
+    /// per-batch memo before touching the store. Control messages pass
+    /// through untouched.
+    fn attach_data(
+        &self,
+        msg: ServerMsg,
+        pages: &mut HashMap<PageId, SharedBytes>,
+        objects: &mut HashMap<Oid, Option<SharedBytes>>,
+    ) -> Result<ToClient, (TxnId, std::io::Error)> {
         let (page_image, object_bytes) = match &msg {
             ServerMsg::ReadGranted { txn, oid, data }
             | ServerMsg::WriteGranted { txn, oid, data, .. } => {
                 let image = match data {
-                    DataGrant::Page { page, .. } => {
-                        Some(self.store.page_image(*page).map_err(|e| (*txn, e))?)
-                    }
+                    DataGrant::Page { page, .. } => Some(match pages.get(page) {
+                        Some(shared) => Arc::clone(shared),
+                        None => {
+                            let img =
+                                Arc::new(self.store.page_image(*page).map_err(|e| (*txn, e))?);
+                            pages.insert(*page, Arc::clone(&img));
+                            img
+                        }
+                    }),
                     _ => None,
                 };
                 let bytes = match data {
-                    DataGrant::Page { .. } | DataGrant::Object { .. } => {
-                        self.store.read_object(*oid).map_err(|e| (*txn, e))?
-                    }
+                    DataGrant::Page { .. } | DataGrant::Object { .. } => match objects.get(oid) {
+                        Some(shared) => shared.clone(),
+                        None => {
+                            let b = self
+                                .store
+                                .read_object(*oid)
+                                .map_err(|e| (*txn, e))?
+                                .map(Arc::new);
+                            objects.insert(*oid, b.clone());
+                            b
+                        }
+                    },
                     DataGrant::None => None,
                 };
                 (image, bytes)

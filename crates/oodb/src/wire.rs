@@ -4,6 +4,22 @@
 use crate::error::TxnError;
 use crossbeam::channel::Sender;
 use fgs_core::{ClientId, Oid, Request, ServerMsg};
+use std::sync::Arc;
+
+/// A shared, immutable byte payload on the server→client wire.
+///
+/// Grants that fan the same page image (or object bytes) to several
+/// clients in one engine batch clone the `Arc`, not the bytes — the
+/// server copies each payload out of the store once per batch. The inner
+/// `Vec` (rather than `Arc<[u8]>`) lets the *last* receiver reclaim the
+/// buffer with [`into_owned`] instead of copying it again.
+pub(crate) type SharedBytes = Arc<Vec<u8>>;
+
+/// Unwraps a [`SharedBytes`] into an owned buffer: free when this is the
+/// only reference (the common single-recipient case), one copy otherwise.
+pub(crate) fn into_owned(bytes: SharedBytes) -> Vec<u8> {
+    Arc::try_unwrap(bytes).unwrap_or_else(|shared| (*shared).clone())
+}
 
 /// Client → server envelope.
 #[derive(Debug)]
@@ -27,10 +43,10 @@ pub(crate) struct ToClient {
     /// The protocol message.
     pub msg: ServerMsg,
     /// Raw page image accompanying a `DataGrant::Page`.
-    pub page_image: Option<Vec<u8>>,
+    pub page_image: Option<SharedBytes>,
     /// Resolved bytes of the requested object (present with grants; used
     /// when the object's home slot holds a forwarding stub).
-    pub object_bytes: Option<Vec<u8>>,
+    pub object_bytes: Option<SharedBytes>,
 }
 
 /// The client runtime's single inbox: application commands and server

@@ -1,16 +1,23 @@
 //! Experiment runner: write-probability sweeps over all five protocols,
 //! producing the paper's figures.
+//!
+//! Sweeps execute on the parallel scheduler in [`crate::sweep`]: cells
+//! are seeded from their `(base_seed, protocol, write_prob, family)`
+//! coordinates and fanned across worker threads, so a figure regenerated
+//! at any worker count is bit-identical to the sequential run.
 
 use crate::config::{RunConfig, SystemConfig};
 use crate::driver::Simulator;
 use crate::metrics::{Figure, RunMetrics, Series};
+use crate::sweep::{default_workers, run_cells, SweepCell};
 use fgs_core::Protocol;
 use fgs_workload::WorkloadSpec;
 
 /// The write-probability grid used for every throughput figure.
 pub const WRITE_PROBS: [f64; 7] = [0.0, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30];
 
-/// Runs one simulation point.
+/// Runs one simulation point. Uses `run.seed` directly (no cell
+/// derivation): this is the single-point API, not a sweep cell.
 pub fn run_point(
     protocol: Protocol,
     spec: WorkloadSpec,
@@ -33,7 +40,8 @@ pub fn sweep(
     sweep_probs(id, title, protocols, sys, run, &WRITE_PROBS, make_spec)
 }
 
-/// Like [`sweep`] but over an explicit write-probability grid.
+/// Like [`sweep`] but over an explicit write-probability grid. Runs on
+/// [`default_workers`] threads (override with `FGS_SIM_WORKERS`).
 pub fn sweep_probs(
     id: &str,
     title: &str,
@@ -43,20 +51,55 @@ pub fn sweep_probs(
     probs: &[f64],
     make_spec: impl Fn(f64) -> WorkloadSpec,
 ) -> Figure {
-    let mut runs = Vec::new();
-    let mut series = Vec::new();
-    for &p in protocols {
-        let mut points = Vec::new();
-        for &w in probs {
-            let m = run_point(p, make_spec(w), sys, run);
-            points.push((w, m.throughput));
-            runs.push(m);
-        }
-        series.push(Series {
+    sweep_probs_workers(
+        id,
+        title,
+        protocols,
+        sys,
+        run,
+        probs,
+        make_spec,
+        default_workers(),
+    )
+}
+
+/// Like [`sweep_probs`] with an explicit worker count. `workers == 1`
+/// runs sequentially; any count produces bit-identical figures.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_probs_workers(
+    id: &str,
+    title: &str,
+    protocols: &[Protocol],
+    sys: &SystemConfig,
+    run: &RunConfig,
+    probs: &[f64],
+    make_spec: impl Fn(f64) -> WorkloadSpec,
+    workers: usize,
+) -> Figure {
+    // Cells in protocol-major order, matching the historical sequential
+    // loop; the scheduler returns metrics in exactly this order.
+    let cells: Vec<SweepCell> = protocols
+        .iter()
+        .flat_map(|&p| probs.iter().map(move |&w| (p, w)))
+        .map(|(protocol, write_prob)| SweepCell {
+            protocol,
+            write_prob,
+            spec: make_spec(write_prob),
+        })
+        .collect();
+    let runs = run_cells(&cells, sys, run, workers);
+    let series = protocols
+        .iter()
+        .enumerate()
+        .map(|(pi, &p)| Series {
             protocol: p.name().to_string(),
-            points,
-        });
-    }
+            points: probs
+                .iter()
+                .enumerate()
+                .map(|(wi, &w)| (w, runs[pi * probs.len() + wi].throughput))
+                .collect(),
+        })
+        .collect();
     Figure {
         id: id.to_string(),
         title: title.to_string(),

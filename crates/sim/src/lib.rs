@@ -33,9 +33,13 @@ mod config;
 mod driver;
 mod experiment;
 mod metrics;
+mod sweep;
 
 pub use buffer::ServerBuffer;
 pub use config::{RunConfig, SystemConfig};
 pub use driver::Simulator;
-pub use experiment::{normalize_to, run_point, sweep, sweep_probs, WRITE_PROBS};
+pub use experiment::{
+    normalize_to, run_point, sweep, sweep_probs, sweep_probs_workers, WRITE_PROBS,
+};
 pub use metrics::{Figure, RunMetrics, Series};
+pub use sweep::{cell_seed, default_workers, run_cells, SweepCell};

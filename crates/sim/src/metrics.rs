@@ -4,7 +4,10 @@ use fgs_core::Protocol;
 use serde::{Deserialize, Serialize};
 
 /// The measured results of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field bit-for-bit — the determinism
+/// regression tests assert parallel and sequential sweeps agree exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunMetrics {
     /// Protocol name ("PS-AA", …).
     pub protocol: String,
@@ -73,7 +76,7 @@ impl RunMetrics {
 }
 
 /// One (protocol, sweep) series for a figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Series {
     /// Protocol of this series.
     pub protocol: String,
@@ -82,7 +85,7 @@ pub struct Series {
 }
 
 /// A complete reproduced figure: several protocol series over one sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Figure {
     /// Figure identifier ("fig3", …).
     pub id: String,
