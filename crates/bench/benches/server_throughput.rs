@@ -1,6 +1,8 @@
 //! Server-runtime throughput sweep: commits/second through the sharded,
 //! pipelined server (worker pool + group commit) as the client count
-//! grows, for PS and PS-AA.
+//! grows, for PS and PS-AA — over both transports (in-process channels
+//! and loopback TCP), so BENCH_server.json reports the cost of the wire
+//! layer directly.
 //!
 //! Run via `cargo bench -p fgs-bench --bench server_throughput`.
 //! Control with env:
@@ -13,7 +15,7 @@
 //! conflicts (which would measure the protocol, not the runtime) low.
 
 use fgs_core::{Oid, PageId, Protocol};
-use fgs_oodb::{EngineConfig, Oodb};
+use fgs_oodb::{EngineConfig, Oodb, TransportKind};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
@@ -25,6 +27,7 @@ const CLIENT_COUNTS: [u16; 4] = [1, 4, 8, 16];
 #[derive(Serialize)]
 struct BenchPoint {
     protocol: String,
+    transport: String,
     clients: u64,
     txns: u64,
     elapsed_s: f64,
@@ -42,7 +45,7 @@ struct BenchReport {
     points: Vec<BenchPoint>,
 }
 
-fn config(protocol: Protocol, clients: u16) -> EngineConfig {
+fn config(protocol: Protocol, transport: TransportKind, clients: u16) -> EngineConfig {
     EngineConfig {
         protocol,
         db_pages: DB_PAGES,
@@ -55,11 +58,24 @@ fn config(protocol: Protocol, clients: u16) -> EngineConfig {
         server_workers: 4,
         group_commit_batch: 8,
         paranoid: false,
+        transport,
     }
 }
 
-fn run_point(protocol: Protocol, clients: u16, txns_per_client: u64) -> BenchPoint {
-    let db = Arc::new(Oodb::open(config(protocol, clients)).unwrap());
+fn transport_name(transport: TransportKind) -> &'static str {
+    match transport {
+        TransportKind::Channel => "channel",
+        TransportKind::Tcp => "tcp",
+    }
+}
+
+fn run_point(
+    protocol: Protocol,
+    transport: TransportKind,
+    clients: u16,
+    txns_per_client: u64,
+) -> BenchPoint {
+    let db = Arc::new(Oodb::open(config(protocol, transport, clients)).unwrap());
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for c in 0..clients {
@@ -86,6 +102,7 @@ fn run_point(protocol: Protocol, clients: u16, txns_per_client: u64) -> BenchPoi
     db.check_server_invariants();
     BenchPoint {
         protocol: protocol.to_string(),
+        transport: transport_name(transport).to_string(),
         clients: u64::from(clients),
         txns,
         elapsed_s: elapsed,
@@ -103,21 +120,24 @@ fn main() {
         _ => 400,
     };
     let mut points = Vec::new();
-    for protocol in [Protocol::Ps, Protocol::PsAa] {
-        for clients in CLIENT_COUNTS {
-            let p = run_point(protocol, clients, txns_per_client);
-            println!(
-                "{:6} {:2} clients: {:8.0} commits/s ({} forces for {} commits, \
-                 {} batches, {} piggybacked)",
-                p.protocol,
-                p.clients,
-                p.commits_per_s,
-                p.log_forces,
-                p.commits,
-                p.group_commit_batches,
-                p.piggybacked_commits
-            );
-            points.push(p);
+    for transport in [TransportKind::Channel, TransportKind::Tcp] {
+        for protocol in [Protocol::Ps, Protocol::PsAa] {
+            for clients in CLIENT_COUNTS {
+                let p = run_point(protocol, transport, clients, txns_per_client);
+                println!(
+                    "{:6} /{:7} {:2} clients: {:8.0} commits/s ({} forces for {} commits, \
+                     {} batches, {} piggybacked)",
+                    p.protocol,
+                    p.transport,
+                    p.clients,
+                    p.commits_per_s,
+                    p.log_forces,
+                    p.commits,
+                    p.group_commit_batches,
+                    p.piggybacked_commits
+                );
+                points.push(p);
+            }
         }
     }
     let report = BenchReport {

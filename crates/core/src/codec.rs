@@ -1,0 +1,823 @@
+//! Dependency-free binary codec for the protocol vocabulary.
+//!
+//! The wire layer (see `fgs-oodb`'s `codec` module) frames messages as
+//! length-prefixed records; this module defines the *body* encoding of
+//! every protocol type: [`Request`], [`ServerMsg`], [`CallbackReply`] and
+//! their constituents. The format is:
+//!
+//! * **varints** — all integers (ids, sequence numbers, lengths, epochs)
+//!   are LEB128 unsigned varints, so small ids cost one byte;
+//! * **tag bytes** — each enum is a one-byte tag followed by its fields in
+//!   declaration order;
+//! * **no self-description** — the decoder is versioned by the connection
+//!   handshake, not per message (see DESIGN.md §12 for the evolution
+//!   rules).
+//!
+//! Decoding is total: malformed input yields a [`CodecError`], never a
+//! panic, and never a size-driven allocation larger than the input (list
+//! lengths are validated against the bytes actually remaining).
+
+use crate::ids::{ClientId, Oid, PageId, TxnId};
+use crate::msg::{
+    AbortReason, CallbackId, CallbackReply, CallbackTarget, DataGrant, GrantLevel, Request,
+    ServerMsg, WriteSet,
+};
+use crate::protocol::Protocol;
+use std::fmt;
+
+/// Errors produced by the decoder. Encoding is infallible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value was complete.
+    Eof,
+    /// A varint ran past 10 bytes or overflowed the target width.
+    Varint,
+    /// An unknown enum tag.
+    Tag {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A declared list/byte length exceeds the bytes remaining.
+    Length {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A value was out of its domain (e.g. a bool byte that is not 0/1).
+    Domain {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// Bytes were left over after the value (strict top-level decode).
+    Trailing,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Eof => write!(f, "unexpected end of input"),
+            CodecError::Varint => write!(f, "malformed varint"),
+            CodecError::Tag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
+            CodecError::Length { what } => {
+                write!(f, "{what} length exceeds the remaining input")
+            }
+            CodecError::Domain { what } => write!(f, "{what} value out of domain"),
+            CodecError::Trailing => write!(f, "trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A cursor over an immutable input buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Errors with [`CodecError::Trailing`] unless the input is exhausted.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::Trailing)
+        }
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        let b = *self.buf.get(self.pos).ok_or(CodecError::Eof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// A LEB128 unsigned varint, at most 10 bytes.
+    pub fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            let low = u64::from(b & 0x7f);
+            if shift == 63 && low > 1 {
+                return Err(CodecError::Varint);
+            }
+            v |= low << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::Varint)
+    }
+
+    /// A varint that must fit `u32`.
+    pub fn var_u32(&mut self) -> Result<u32, CodecError> {
+        u32::try_from(self.varint()?).map_err(|_| CodecError::Varint)
+    }
+
+    /// A varint that must fit `u16`.
+    pub fn var_u16(&mut self) -> Result<u16, CodecError> {
+        u16::try_from(self.varint()?).map_err(|_| CodecError::Varint)
+    }
+
+    /// A declared element count, validated against the remaining input:
+    /// each element occupies at least `min_size` bytes, so a count the
+    /// input cannot possibly hold is rejected before any allocation.
+    pub fn list_len(&mut self, what: &'static str, min_size: usize) -> Result<usize, CodecError> {
+        let n = usize::try_from(self.varint()?).map_err(|_| CodecError::Length { what })?;
+        match n.checked_mul(min_size.max(1)) {
+            Some(need) if need <= self.remaining() => Ok(n),
+            _ => Err(CodecError::Length { what }),
+        }
+    }
+
+    /// `len` raw bytes.
+    pub fn bytes(&mut self, len: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        if len > self.remaining() {
+            return Err(CodecError::Length { what });
+        }
+        let s = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    /// A varint-length-prefixed byte string, copied out.
+    pub fn byte_vec(&mut self, what: &'static str) -> Result<Vec<u8>, CodecError> {
+        let len = self.list_len(what, 1)?;
+        Ok(self.bytes(len, what)?.to_vec())
+    }
+
+    /// A bool encoded as a 0/1 byte.
+    pub fn boolean(&mut self, what: &'static str) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Domain { what }),
+        }
+    }
+}
+
+/// Appends a LEB128 unsigned varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Appends a varint-length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+// ---------------------------------------------------------------------
+// Identifiers
+// ---------------------------------------------------------------------
+
+/// Encodes a [`TxnId`].
+pub fn put_txn_id(out: &mut Vec<u8>, txn: TxnId) {
+    put_varint(out, u64::from(txn.client.0));
+    put_varint(out, txn.seq);
+}
+
+/// Decodes a [`TxnId`].
+pub fn get_txn_id(r: &mut Reader<'_>) -> Result<TxnId, CodecError> {
+    let client = ClientId(r.var_u16()?);
+    let seq = r.varint()?;
+    Ok(TxnId::new(client, seq))
+}
+
+/// Encodes an [`Oid`].
+pub fn put_oid(out: &mut Vec<u8>, oid: Oid) {
+    put_varint(out, u64::from(oid.page.0));
+    put_varint(out, u64::from(oid.slot));
+}
+
+/// Decodes an [`Oid`].
+pub fn get_oid(r: &mut Reader<'_>) -> Result<Oid, CodecError> {
+    let page = PageId(r.var_u32()?);
+    let slot = r.var_u16()?;
+    Ok(Oid::new(page, slot))
+}
+
+/// Encodes a [`Protocol`] (used by the connection handshake).
+pub fn put_protocol(out: &mut Vec<u8>, p: Protocol) {
+    out.push(match p {
+        Protocol::Ps => 0,
+        Protocol::Os => 1,
+        Protocol::PsOo => 2,
+        Protocol::PsOa => 3,
+        Protocol::PsAa => 4,
+        Protocol::PsWt => 5,
+    });
+}
+
+/// Decodes a [`Protocol`].
+pub fn get_protocol(r: &mut Reader<'_>) -> Result<Protocol, CodecError> {
+    Ok(match r.u8()? {
+        0 => Protocol::Ps,
+        1 => Protocol::Os,
+        2 => Protocol::PsOo,
+        3 => Protocol::PsOa,
+        4 => Protocol::PsAa,
+        5 => Protocol::PsWt,
+        tag => {
+            return Err(CodecError::Tag {
+                what: "Protocol",
+                tag,
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// Encodes a [`CallbackReply`].
+pub fn put_callback_reply(out: &mut Vec<u8>, reply: &CallbackReply) {
+    match reply {
+        CallbackReply::PagePurged { epoch } => {
+            out.push(0);
+            put_varint(out, u64::from(*epoch));
+        }
+        CallbackReply::ObjectUnavailable { slot } => {
+            out.push(1);
+            put_varint(out, u64::from(*slot));
+        }
+        CallbackReply::ObjectPurged { slot } => {
+            out.push(2);
+            put_varint(out, u64::from(*slot));
+        }
+        CallbackReply::NotCached { epoch } => {
+            out.push(3);
+            put_varint(out, u64::from(*epoch));
+        }
+        CallbackReply::Busy { conflicts } => {
+            out.push(4);
+            put_varint(out, conflicts.len() as u64);
+            for t in conflicts {
+                put_txn_id(out, *t);
+            }
+        }
+    }
+}
+
+/// Decodes a [`CallbackReply`].
+pub fn get_callback_reply(r: &mut Reader<'_>) -> Result<CallbackReply, CodecError> {
+    Ok(match r.u8()? {
+        0 => CallbackReply::PagePurged {
+            epoch: r.var_u32()?,
+        },
+        1 => CallbackReply::ObjectUnavailable { slot: r.var_u16()? },
+        2 => CallbackReply::ObjectPurged { slot: r.var_u16()? },
+        3 => CallbackReply::NotCached {
+            epoch: r.var_u32()?,
+        },
+        4 => {
+            let n = r.list_len("CallbackReply::Busy conflicts", 2)?;
+            let mut conflicts = Vec::with_capacity(n);
+            for _ in 0..n {
+                conflicts.push(get_txn_id(r)?);
+            }
+            CallbackReply::Busy { conflicts }
+        }
+        tag => {
+            return Err(CodecError::Tag {
+                what: "CallbackReply",
+                tag,
+            })
+        }
+    })
+}
+
+fn put_write_set(out: &mut Vec<u8>, ws: &WriteSet) {
+    put_varint(out, u64::from(ws.page.0));
+    put_varint(out, ws.slots.len() as u64);
+    for &s in &ws.slots {
+        put_varint(out, u64::from(s));
+    }
+}
+
+fn get_write_set(r: &mut Reader<'_>) -> Result<WriteSet, CodecError> {
+    let page = PageId(r.var_u32()?);
+    let n = r.list_len("WriteSet slots", 1)?;
+    let mut slots = Vec::with_capacity(n);
+    for _ in 0..n {
+        slots.push(r.var_u16()?);
+    }
+    Ok(WriteSet { page, slots })
+}
+
+/// Encodes a [`Request`].
+pub fn put_request(out: &mut Vec<u8>, req: &Request) {
+    match req {
+        Request::Read { txn, oid } => {
+            out.push(0);
+            put_txn_id(out, *txn);
+            put_oid(out, *oid);
+        }
+        Request::Write {
+            txn,
+            oid,
+            need_copy,
+        } => {
+            out.push(1);
+            put_txn_id(out, *txn);
+            put_oid(out, *oid);
+            out.push(u8::from(*need_copy));
+        }
+        Request::CallbackReply {
+            callback,
+            page,
+            reply,
+        } => {
+            out.push(2);
+            put_varint(out, callback.0);
+            put_varint(out, u64::from(page.0));
+            put_callback_reply(out, reply);
+        }
+        Request::DeescalateReply { txn, page, updated } => {
+            out.push(3);
+            put_txn_id(out, *txn);
+            put_varint(out, u64::from(page.0));
+            put_varint(out, updated.len() as u64);
+            for &s in updated {
+                put_varint(out, u64::from(s));
+            }
+        }
+        Request::Commit { txn, writes } => {
+            out.push(4);
+            put_txn_id(out, *txn);
+            put_varint(out, writes.len() as u64);
+            for ws in writes {
+                put_write_set(out, ws);
+            }
+        }
+        Request::Abort { txn } => {
+            out.push(5);
+            put_txn_id(out, *txn);
+        }
+    }
+}
+
+/// Decodes a [`Request`].
+pub fn get_request(r: &mut Reader<'_>) -> Result<Request, CodecError> {
+    Ok(match r.u8()? {
+        0 => Request::Read {
+            txn: get_txn_id(r)?,
+            oid: get_oid(r)?,
+        },
+        1 => Request::Write {
+            txn: get_txn_id(r)?,
+            oid: get_oid(r)?,
+            need_copy: r.boolean("Request::Write need_copy")?,
+        },
+        2 => Request::CallbackReply {
+            callback: CallbackId(r.varint()?),
+            page: PageId(r.var_u32()?),
+            reply: get_callback_reply(r)?,
+        },
+        3 => {
+            let txn = get_txn_id(r)?;
+            let page = PageId(r.var_u32()?);
+            let n = r.list_len("DeescalateReply updated", 1)?;
+            let mut updated = Vec::with_capacity(n);
+            for _ in 0..n {
+                updated.push(r.var_u16()?);
+            }
+            Request::DeescalateReply { txn, page, updated }
+        }
+        4 => {
+            let txn = get_txn_id(r)?;
+            let n = r.list_len("Commit writes", 2)?;
+            let mut writes = Vec::with_capacity(n);
+            for _ in 0..n {
+                writes.push(get_write_set(r)?);
+            }
+            Request::Commit { txn, writes }
+        }
+        5 => Request::Abort {
+            txn: get_txn_id(r)?,
+        },
+        tag => {
+            return Err(CodecError::Tag {
+                what: "Request",
+                tag,
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Server messages
+// ---------------------------------------------------------------------
+
+fn put_data_grant(out: &mut Vec<u8>, data: &DataGrant) {
+    match data {
+        DataGrant::Page {
+            page,
+            unavailable,
+            epoch,
+        } => {
+            out.push(0);
+            put_varint(out, u64::from(page.0));
+            put_varint(out, unavailable.len() as u64);
+            for &s in unavailable {
+                put_varint(out, u64::from(s));
+            }
+            put_varint(out, u64::from(*epoch));
+        }
+        DataGrant::Object { oid } => {
+            out.push(1);
+            put_oid(out, *oid);
+        }
+        DataGrant::None => out.push(2),
+    }
+}
+
+fn get_data_grant(r: &mut Reader<'_>) -> Result<DataGrant, CodecError> {
+    Ok(match r.u8()? {
+        0 => {
+            let page = PageId(r.var_u32()?);
+            let n = r.list_len("DataGrant unavailable", 1)?;
+            let mut unavailable = Vec::with_capacity(n);
+            for _ in 0..n {
+                unavailable.push(r.var_u16()?);
+            }
+            let epoch = r.var_u32()?;
+            DataGrant::Page {
+                page,
+                unavailable,
+                epoch,
+            }
+        }
+        1 => DataGrant::Object { oid: get_oid(r)? },
+        2 => DataGrant::None,
+        tag => {
+            return Err(CodecError::Tag {
+                what: "DataGrant",
+                tag,
+            })
+        }
+    })
+}
+
+fn put_callback_target(out: &mut Vec<u8>, target: &CallbackTarget) {
+    match target {
+        CallbackTarget::Page => out.push(0),
+        CallbackTarget::PageAdaptive { slot } => {
+            out.push(1);
+            put_varint(out, u64::from(*slot));
+        }
+        CallbackTarget::Object { slot } => {
+            out.push(2);
+            put_varint(out, u64::from(*slot));
+        }
+    }
+}
+
+fn get_callback_target(r: &mut Reader<'_>) -> Result<CallbackTarget, CodecError> {
+    Ok(match r.u8()? {
+        0 => CallbackTarget::Page,
+        1 => CallbackTarget::PageAdaptive { slot: r.var_u16()? },
+        2 => CallbackTarget::Object { slot: r.var_u16()? },
+        tag => {
+            return Err(CodecError::Tag {
+                what: "CallbackTarget",
+                tag,
+            })
+        }
+    })
+}
+
+/// Encodes a [`ServerMsg`].
+pub fn put_server_msg(out: &mut Vec<u8>, msg: &ServerMsg) {
+    match msg {
+        ServerMsg::ReadGranted { txn, oid, data } => {
+            out.push(0);
+            put_txn_id(out, *txn);
+            put_oid(out, *oid);
+            put_data_grant(out, data);
+        }
+        ServerMsg::WriteGranted {
+            txn,
+            oid,
+            level,
+            data,
+        } => {
+            out.push(1);
+            put_txn_id(out, *txn);
+            put_oid(out, *oid);
+            out.push(match level {
+                GrantLevel::Page => 0,
+                GrantLevel::Object => 1,
+            });
+            put_data_grant(out, data);
+        }
+        ServerMsg::Callback {
+            callback,
+            page,
+            target,
+        } => {
+            out.push(2);
+            put_varint(out, callback.0);
+            put_varint(out, u64::from(page.0));
+            put_callback_target(out, target);
+        }
+        ServerMsg::Deescalate { page, txn } => {
+            out.push(3);
+            put_varint(out, u64::from(page.0));
+            put_txn_id(out, *txn);
+        }
+        ServerMsg::Aborted { txn, reason } => {
+            out.push(4);
+            put_txn_id(out, *txn);
+            out.push(match reason {
+                AbortReason::Deadlock => 0,
+                AbortReason::Server => 1,
+            });
+        }
+        ServerMsg::CommitDone { txn } => {
+            out.push(5);
+            put_txn_id(out, *txn);
+        }
+        ServerMsg::AbortDone { txn } => {
+            out.push(6);
+            put_txn_id(out, *txn);
+        }
+    }
+}
+
+/// Decodes a [`ServerMsg`].
+pub fn get_server_msg(r: &mut Reader<'_>) -> Result<ServerMsg, CodecError> {
+    Ok(match r.u8()? {
+        0 => ServerMsg::ReadGranted {
+            txn: get_txn_id(r)?,
+            oid: get_oid(r)?,
+            data: get_data_grant(r)?,
+        },
+        1 => ServerMsg::WriteGranted {
+            txn: get_txn_id(r)?,
+            oid: get_oid(r)?,
+            level: match r.u8()? {
+                0 => GrantLevel::Page,
+                1 => GrantLevel::Object,
+                tag => {
+                    return Err(CodecError::Tag {
+                        what: "GrantLevel",
+                        tag,
+                    })
+                }
+            },
+            data: get_data_grant(r)?,
+        },
+        2 => ServerMsg::Callback {
+            callback: CallbackId(r.varint()?),
+            page: PageId(r.var_u32()?),
+            target: get_callback_target(r)?,
+        },
+        3 => ServerMsg::Deescalate {
+            page: PageId(r.var_u32()?),
+            txn: get_txn_id(r)?,
+        },
+        4 => ServerMsg::Aborted {
+            txn: get_txn_id(r)?,
+            reason: match r.u8()? {
+                0 => AbortReason::Deadlock,
+                1 => AbortReason::Server,
+                tag => {
+                    return Err(CodecError::Tag {
+                        what: "AbortReason",
+                        tag,
+                    })
+                }
+            },
+        },
+        5 => ServerMsg::CommitDone {
+            txn: get_txn_id(r)?,
+        },
+        6 => ServerMsg::AbortDone {
+            txn: get_txn_id(r)?,
+        },
+        tag => {
+            return Err(CodecError::Tag {
+                what: "ServerMsg",
+                tag,
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Strict top-level helpers
+// ---------------------------------------------------------------------
+
+/// Encodes a [`Request`] into a fresh buffer.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    put_request(&mut out, req);
+    out
+}
+
+/// Decodes a [`Request`], requiring the buffer to hold exactly one.
+pub fn decode_request(buf: &[u8]) -> Result<Request, CodecError> {
+    let mut r = Reader::new(buf);
+    let req = get_request(&mut r)?;
+    r.finish()?;
+    Ok(req)
+}
+
+/// Encodes a [`ServerMsg`] into a fresh buffer.
+pub fn encode_server_msg(msg: &ServerMsg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    put_server_msg(&mut out, msg);
+    out
+}
+
+/// Decodes a [`ServerMsg`], requiring the buffer to hold exactly one.
+pub fn decode_server_msg(buf: &[u8]) -> Result<ServerMsg, CodecError> {
+    let mut r = Reader::new(buf);
+    let msg = get_server_msg(&mut r)?;
+    r.finish()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong_and_truncated() {
+        // 11 continuation bytes can encode nothing valid.
+        let overlong = [0x80u8; 11];
+        assert_eq!(Reader::new(&overlong).varint(), Err(CodecError::Varint));
+        // A continuation byte with no successor is EOF.
+        assert_eq!(Reader::new(&[0x80u8]).varint(), Err(CodecError::Eof));
+        // 10th byte may only contribute the top bit.
+        let mut max = vec![0xffu8; 9];
+        max.push(0x02);
+        assert_eq!(Reader::new(&max).varint(), Err(CodecError::Varint));
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let txn = TxnId::new(ClientId(3), 99);
+        let reqs = [
+            Request::Read {
+                txn,
+                oid: Oid::new(PageId(7), 5),
+            },
+            Request::Write {
+                txn,
+                oid: Oid::new(PageId(1000), 63),
+                need_copy: true,
+            },
+            Request::CallbackReply {
+                callback: CallbackId(u64::MAX),
+                page: PageId(2),
+                reply: CallbackReply::Busy {
+                    conflicts: vec![txn, TxnId::new(ClientId(0), 0)],
+                },
+            },
+            Request::Commit {
+                txn,
+                writes: vec![WriteSet {
+                    page: PageId(4),
+                    slots: vec![0, 2, 7],
+                }],
+            },
+            Request::Abort { txn },
+        ];
+        for req in &reqs {
+            let buf = encode_request(req);
+            assert_eq!(&decode_request(&buf).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn server_msg_round_trip() {
+        let txn = TxnId::new(ClientId(9), 1);
+        let msgs = [
+            ServerMsg::ReadGranted {
+                txn,
+                oid: Oid::new(PageId(3), 1),
+                data: DataGrant::Page {
+                    page: PageId(3),
+                    unavailable: vec![1, 5],
+                    epoch: 12,
+                },
+            },
+            ServerMsg::WriteGranted {
+                txn,
+                oid: Oid::new(PageId(3), 1),
+                level: GrantLevel::Object,
+                data: DataGrant::None,
+            },
+            ServerMsg::Callback {
+                callback: CallbackId(7),
+                page: PageId(8),
+                target: CallbackTarget::PageAdaptive { slot: 4 },
+            },
+            ServerMsg::Aborted {
+                txn,
+                reason: AbortReason::Deadlock,
+            },
+        ];
+        for msg in &msgs {
+            let buf = encode_server_msg(msg);
+            assert_eq!(&decode_server_msg(&buf).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = encode_request(&Request::Abort {
+            txn: TxnId::new(ClientId(1), 1),
+        });
+        buf.push(0);
+        assert_eq!(decode_request(&buf), Err(CodecError::Trailing));
+    }
+
+    #[test]
+    fn length_bomb_is_rejected_before_allocation() {
+        // Commit with a writes count far beyond the buffer.
+        let mut buf = Vec::new();
+        buf.push(4); // Commit tag
+        put_txn_id(&mut buf, TxnId::new(ClientId(1), 1));
+        put_varint(&mut buf, u64::MAX / 2); // absurd writes count
+        assert!(matches!(
+            decode_request(&buf),
+            Err(CodecError::Length { .. }) | Err(CodecError::Varint)
+        ));
+    }
+
+    #[test]
+    fn protocol_round_trip() {
+        for p in [
+            Protocol::Ps,
+            Protocol::Os,
+            Protocol::PsOo,
+            Protocol::PsOa,
+            Protocol::PsAa,
+            Protocol::PsWt,
+        ] {
+            let mut buf = Vec::new();
+            put_protocol(&mut buf, p);
+            let mut r = Reader::new(&buf);
+            assert_eq!(get_protocol(&mut r).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_error_not_panic() {
+        let full = encode_server_msg(&ServerMsg::ReadGranted {
+            txn: TxnId::new(ClientId(3), 77),
+            oid: Oid::new(PageId(9), 2),
+            data: DataGrant::Page {
+                page: PageId(9),
+                unavailable: vec![0, 1, 2],
+                epoch: 400,
+            },
+        });
+        for cut in 0..full.len() {
+            assert!(
+                decode_server_msg(&full[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+}

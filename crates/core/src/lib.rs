@@ -37,10 +37,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod codec;
 mod cost;
 mod ids;
 mod msg;
 mod protocol;
+pub mod sync;
 
 /// Client-side protocol engine and cache.
 pub mod client {

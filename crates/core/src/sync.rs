@@ -1,0 +1,15 @@
+//! Workspace-wide lock shim: `parking_lot` in normal builds, the `loom`
+//! model-checking types under `RUSTFLAGS="--cfg loom"`.
+//!
+//! Both expose the same non-poisoning `Mutex`/`Condvar`/`MutexGuard` API,
+//! so concurrency-critical code (group commit in `fgs-oodb`, the WAL and
+//! sharded buffer pool in `fgs-pagestore`, the transport port table) is
+//! written once and the loom model tests explore the *same* code paths the
+//! production build runs. `fgs-oodb` and `fgs-pagestore` used to carry
+//! near-identical copies of this shim; they now both point here.
+
+#[cfg(loom)]
+pub use loom::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard};

@@ -1,0 +1,186 @@
+//! Property tests for the protocol body codec: `decode(encode(x)) == x`
+//! for every [`Request`] and [`ServerMsg`] shape the strategies can
+//! produce, every strict prefix of a valid encoding is rejected, and no
+//! input — truncated, bit-flipped, or random — makes the decoder panic.
+
+use fgs_core::codec::{decode_request, decode_server_msg, encode_request, encode_server_msg};
+use fgs_core::{
+    AbortReason, CallbackId, CallbackReply, CallbackTarget, ClientId, DataGrant, GrantLevel, Oid,
+    PageId, Request, ServerMsg, TxnId, WriteSet,
+};
+use proptest::prelude::*;
+
+fn txn_id() -> impl Strategy<Value = TxnId> {
+    (any::<u16>(), any::<u64>()).prop_map(|(c, seq)| TxnId::new(ClientId(c), seq))
+}
+
+fn oid() -> impl Strategy<Value = Oid> {
+    (any::<u32>(), any::<u16>()).prop_map(|(p, s)| Oid::new(PageId(p), s))
+}
+
+fn callback_reply() -> impl Strategy<Value = CallbackReply> {
+    prop_oneof![
+        any::<u32>().prop_map(|epoch| CallbackReply::PagePurged { epoch }),
+        any::<u16>().prop_map(|slot| CallbackReply::ObjectUnavailable { slot }),
+        any::<u16>().prop_map(|slot| CallbackReply::ObjectPurged { slot }),
+        any::<u32>().prop_map(|epoch| CallbackReply::NotCached { epoch }),
+        prop::collection::vec(txn_id(), 0..5)
+            .prop_map(|conflicts| CallbackReply::Busy { conflicts }),
+    ]
+}
+
+fn write_set() -> impl Strategy<Value = WriteSet> {
+    (any::<u32>(), prop::collection::vec(any::<u16>(), 0..8)).prop_map(|(p, slots)| WriteSet {
+        page: PageId(p),
+        slots,
+    })
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (txn_id(), oid()).prop_map(|(txn, oid)| Request::Read { txn, oid }),
+        (txn_id(), oid(), any::<bool>()).prop_map(|(txn, oid, need_copy)| Request::Write {
+            txn,
+            oid,
+            need_copy
+        }),
+        (any::<u64>(), any::<u32>(), callback_reply()).prop_map(|(cb, page, reply)| {
+            Request::CallbackReply {
+                callback: CallbackId(cb),
+                page: PageId(page),
+                reply,
+            }
+        }),
+        (
+            txn_id(),
+            any::<u32>(),
+            prop::collection::vec(any::<u16>(), 0..8)
+        )
+            .prop_map(|(txn, page, updated)| Request::DeescalateReply {
+                txn,
+                page: PageId(page),
+                updated
+            }),
+        (txn_id(), prop::collection::vec(write_set(), 0..4))
+            .prop_map(|(txn, writes)| Request::Commit { txn, writes }),
+        txn_id().prop_map(|txn| Request::Abort { txn }),
+    ]
+}
+
+fn data_grant() -> impl Strategy<Value = DataGrant> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            prop::collection::vec(any::<u16>(), 0..8),
+            any::<u32>()
+        )
+            .prop_map(|(page, unavailable, epoch)| DataGrant::Page {
+                page: PageId(page),
+                unavailable,
+                epoch
+            }),
+        oid().prop_map(|oid| DataGrant::Object { oid }),
+        Just(DataGrant::None),
+    ]
+}
+
+fn callback_target() -> impl Strategy<Value = CallbackTarget> {
+    prop_oneof![
+        Just(CallbackTarget::Page),
+        any::<u16>().prop_map(|slot| CallbackTarget::PageAdaptive { slot }),
+        any::<u16>().prop_map(|slot| CallbackTarget::Object { slot }),
+    ]
+}
+
+fn server_msg() -> impl Strategy<Value = ServerMsg> {
+    prop_oneof![
+        (txn_id(), oid(), data_grant()).prop_map(|(txn, oid, data)| ServerMsg::ReadGranted {
+            txn,
+            oid,
+            data
+        }),
+        (
+            txn_id(),
+            oid(),
+            prop_oneof![Just(GrantLevel::Page), Just(GrantLevel::Object)],
+            data_grant()
+        )
+            .prop_map(|(txn, oid, level, data)| ServerMsg::WriteGranted {
+                txn,
+                oid,
+                level,
+                data
+            }),
+        (any::<u64>(), any::<u32>(), callback_target()).prop_map(|(cb, page, target)| {
+            ServerMsg::Callback {
+                callback: CallbackId(cb),
+                page: PageId(page),
+                target,
+            }
+        }),
+        (any::<u32>(), txn_id()).prop_map(|(page, txn)| ServerMsg::Deescalate {
+            page: PageId(page),
+            txn
+        }),
+        (
+            txn_id(),
+            prop_oneof![Just(AbortReason::Deadlock), Just(AbortReason::Server)]
+        )
+            .prop_map(|(txn, reason)| ServerMsg::Aborted { txn, reason }),
+        txn_id().prop_map(|txn| ServerMsg::CommitDone { txn }),
+        txn_id().prop_map(|txn| ServerMsg::AbortDone { txn }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_decode_inverts_encode(req in request()) {
+        let buf = encode_request(&req);
+        prop_assert_eq!(decode_request(&buf).unwrap(), req);
+    }
+
+    #[test]
+    fn server_msg_decode_inverts_encode(msg in server_msg()) {
+        let buf = encode_server_msg(&msg);
+        prop_assert_eq!(decode_server_msg(&buf).unwrap(), msg);
+    }
+
+    /// The decoder is deterministic and strict, so every *strict* prefix
+    /// of a valid encoding must fail: if a prefix decoded, the full
+    /// buffer would have had trailing bytes.
+    #[test]
+    fn truncated_request_is_rejected(req in request(), idx in any::<prop::sample::Index>()) {
+        let buf = encode_request(&req);
+        let cut = idx.index(buf.len());
+        prop_assert!(decode_request(&buf[..cut]).is_err());
+    }
+
+    #[test]
+    fn truncated_server_msg_is_rejected(msg in server_msg(), idx in any::<prop::sample::Index>()) {
+        let buf = encode_server_msg(&msg);
+        let cut = idx.index(buf.len());
+        prop_assert!(decode_server_msg(&buf[..cut]).is_err());
+    }
+
+    /// A single flipped bit may still decode (it may hit a payload
+    /// value), but it must never panic or hang.
+    #[test]
+    fn bitflipped_request_never_panics(
+        req in request(),
+        idx in any::<prop::sample::Index>(),
+        bit in 0..8u32,
+    ) {
+        let mut buf = encode_request(&req);
+        let i = idx.index(buf.len());
+        buf[i] ^= 1 << bit;
+        let _ = decode_request(&buf);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_server_msg(&bytes);
+    }
+}

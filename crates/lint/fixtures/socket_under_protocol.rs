@@ -1,0 +1,63 @@
+// Fixture: blocking socket writes (the transport's ConnWriter lock)
+// while the ProtocolStage guard is live, plus a PortTable -> ProtocolStage
+// inversion. fgs-lint must flag the two guarded sends as
+// io_under_protocol and the inversion as lock_order; the clean delivery
+// path at the bottom must stay silent.
+
+struct ProtocolStage {
+    engine: u32,
+}
+
+struct ConnWriter {
+    stream: u32,
+    dead: bool,
+}
+
+struct PortTable {
+    ports: Vec<u32>,
+}
+
+struct TcpPeer {
+    writer: Mutex<ConnWriter>,
+}
+
+impl TcpPeer {
+    fn send_frame(&self, frame: u32) {
+        let w = self.writer.lock();
+        drop(w);
+    }
+}
+
+struct Srv {
+    protocol: Mutex<ProtocolStage>,
+    table: Mutex<PortTable>,
+    peer: TcpPeer,
+}
+
+impl Srv {
+    fn socket_write_under_guard(&self) {
+        let g = self.protocol.lock();
+        self.peer.send_frame(1);
+        drop(g);
+    }
+
+    fn direct_writer_lock_under_guard(&self) {
+        let g = self.protocol.lock();
+        let w = self.peer.writer.lock();
+        drop(w);
+        drop(g);
+    }
+
+    fn engine_under_port_table(&self) {
+        let t = self.table.lock();
+        let g = self.protocol.lock();
+        drop(g);
+        drop(t);
+    }
+
+    fn clean_delivery(&self) {
+        let t = self.table.lock();
+        drop(t);
+        self.peer.send_frame(2);
+    }
+}

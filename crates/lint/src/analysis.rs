@@ -537,7 +537,7 @@ impl Workspace {
                     format!(
                         "lock order violated: acquired {class} while holding {} \
                          (acquired at line {}); declared order is \
-                         GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk",
+                         GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk -> PortTable -> ConnWriter",
                         g.class, g.line
                     )
                 };
@@ -549,7 +549,10 @@ impl Workspace {
                 });
             }
             if g.class == LockClass::ProtocolStage
-                && matches!(class, LockClass::WalInner | LockClass::Disk)
+                && matches!(
+                    class,
+                    LockClass::WalInner | LockClass::Disk | LockClass::ConnWriter
+                )
             {
                 out.push(Violation {
                     rule: Rule::IoUnderProtocol,
@@ -557,7 +560,7 @@ impl Workspace {
                     line,
                     message: format!(
                         "{class} I/O while the ProtocolStage guard is live (acquired at \
-                         line {}); move log/disk work out of the protocol stage",
+                         line {}); move log/disk/socket work out of the protocol stage",
                         g.line
                     ),
                 });
@@ -594,17 +597,19 @@ impl Workspace {
                         message: format!(
                             "call to `{callee_label}` may acquire {c} (via {witness}) while \
                              holding {} (acquired at line {}); declared order is \
-                             GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk",
+                             GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk -> PortTable -> ConnWriter",
                             g.class, g.line
                         ),
                     });
                 }
             }
             if g.class == LockClass::ProtocolStage {
-                let io = fx
-                    .acquires
-                    .keys()
-                    .find(|c| matches!(c, LockClass::WalInner | LockClass::Disk));
+                let io = fx.acquires.keys().find(|c| {
+                    matches!(
+                        c,
+                        LockClass::WalInner | LockClass::Disk | LockClass::ConnWriter
+                    )
+                });
                 if let Some(c) = io {
                     out.push(Violation {
                         rule: Rule::IoUnderProtocol,

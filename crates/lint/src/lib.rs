@@ -1,7 +1,7 @@
 //! `fgs-lint` — workspace lock-discipline lint for the fgs crates.
 //!
 //! Enforces the declared lock-order DAG
-//! (`GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk`) and two
+//! (`GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk -> PortTable -> ConnWriter`) and two
 //! guard-hygiene rules (`io_under_protocol`, `reentrant_closure`) with a
 //! hand-rolled lexer + shallow parser, so the workspace needs no external
 //! proc-macro dependencies. See `analysis` for the model and its

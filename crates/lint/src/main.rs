@@ -58,7 +58,7 @@ fn main() -> ExitCode {
     };
     if violations.is_empty() {
         eprintln!(
-            "fgs-lint: {} file(s) clean (lock order GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk)",
+            "fgs-lint: {} file(s) clean (lock order GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk -> PortTable -> ConnWriter)",
             files.len()
         );
         ExitCode::SUCCESS

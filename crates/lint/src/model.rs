@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk
+//!     -> PortTable -> ConnWriter
 //! ```
 
 use std::fmt;
@@ -26,6 +27,12 @@ pub enum LockClass {
     WalInner = 3,
     /// The disk manager's page table (`disk.rs`).
     Disk = 4,
+    /// The transport's client-port registry (`transport/mod.rs`).
+    PortTable = 5,
+    /// A TCP connection's write half (`transport/tcp.rs`). Innermost by
+    /// design: socket writes are blocking I/O, so nothing may be waiting
+    /// on a `ConnWriter` holder.
+    ConnWriter = 6,
 }
 
 impl LockClass {
@@ -35,12 +42,14 @@ impl LockClass {
     }
 
     /// All classes, in order.
-    pub const ALL: [LockClass; 5] = [
+    pub const ALL: [LockClass; 7] = [
         LockClass::GcState,
         LockClass::ProtocolStage,
         LockClass::PoolShard,
         LockClass::WalInner,
         LockClass::Disk,
+        LockClass::PortTable,
+        LockClass::ConnWriter,
     ];
 
     /// Map a type name appearing as the protected inner type of a
@@ -53,6 +62,8 @@ impl LockClass {
             "PoolShard" | "PoolInner" | "ShardInner" => LockClass::PoolShard,
             "WalInner" => LockClass::WalInner,
             "DiskInner" => LockClass::Disk,
+            "PortTable" => LockClass::PortTable,
+            "ConnWriter" => LockClass::ConnWriter,
             _ => return None,
         })
     }
@@ -77,6 +88,8 @@ impl fmt::Display for LockClass {
             LockClass::PoolShard => "PoolShard",
             LockClass::WalInner => "WalInner",
             LockClass::Disk => "Disk",
+            LockClass::PortTable => "PortTable",
+            LockClass::ConnWriter => "ConnWriter",
         };
         f.write_str(s)
     }
@@ -88,8 +101,8 @@ impl fmt::Display for LockClass {
 pub enum Rule {
     /// Acquired a lock out of DAG order (or re-entered the same class).
     LockOrder,
-    /// Disk/WAL I/O or a channel send/recv while a `ProtocolStage` guard
-    /// is live.
+    /// Disk/WAL I/O, a blocking socket write (`ConnWriter`), or a channel
+    /// send/recv while a `ProtocolStage` guard is live.
     IoUnderProtocol,
     /// A guard held across a closure body that can re-enter the engine.
     ReentrantClosure,
@@ -142,9 +155,11 @@ mod tests {
     #[test]
     fn ranks_follow_the_declared_dag() {
         let ranks: Vec<u8> = LockClass::ALL.iter().map(|c| c.rank()).collect();
-        assert_eq!(ranks, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5, 6]);
         assert!(LockClass::GcState < LockClass::ProtocolStage);
         assert!(LockClass::WalInner < LockClass::Disk);
+        assert!(LockClass::Disk < LockClass::PortTable);
+        assert!(LockClass::PortTable < LockClass::ConnWriter);
     }
 
     #[test]

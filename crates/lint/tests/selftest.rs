@@ -43,6 +43,30 @@ fn io_under_protocol_fixture_flags_all_three_sites() {
     assert!(v.iter().any(|x| x.message.contains("channel")), "{v:?}");
 }
 
+/// The transport extension of the DAG: blocking socket writes
+/// (`ConnWriter`) under the engine lock are I/O-under-protocol, and the
+/// port registry (`PortTable`) ranks after the storage locks.
+#[test]
+fn socket_under_protocol_fixture_flags_sends_and_the_inversion() {
+    let v = lint_fixture("socket_under_protocol.rs");
+    assert_eq!(v.len(), 3, "{v:?}");
+    let io: Vec<_> = v
+        .iter()
+        .filter(|x| x.rule == Rule::IoUnderProtocol)
+        .collect();
+    assert_eq!(io.len(), 2, "{v:?}");
+    assert!(
+        io.iter().all(|x| x.message.contains("ConnWriter")),
+        "{io:?}"
+    );
+    let order: Vec<_> = v.iter().filter(|x| x.rule == Rule::LockOrder).collect();
+    assert_eq!(order.len(), 1, "{v:?}");
+    assert!(
+        order[0].message.contains("PortTable") && order[0].message.contains("ProtocolStage"),
+        "{order:?}"
+    );
+}
+
 #[test]
 fn closure_reentry_fixture_flags_only_the_held_guard_case() {
     let v = lint_fixture("closure_reentry.rs");

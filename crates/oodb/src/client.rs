@@ -2,9 +2,9 @@
 //! manages the byte-level cache (parsed page images plus an overlay for
 //! oversize/forwarded objects), and services the application's session.
 
-use crate::config::EngineConfig;
 use crate::error::TxnError;
-use crate::wire::{into_owned, AppCmd, ClientMsg, SharedBytes, ToClient, ToServer};
+use crate::transport::{ClientParams, RequestSink};
+use crate::wire::{into_owned, AppCmd, ClientMsg, SharedBytes, ToClient};
 use crossbeam::channel::{Receiver, Sender};
 use fgs_core::client::{ClientAction, ClientEngine, TxnOutcome};
 use fgs_core::{
@@ -52,21 +52,24 @@ pub(crate) struct ClientRuntime {
     /// The active transaction was killed server-side (deadlock victim or
     /// server failure); the error to surface on the pending or next call.
     killed: Option<TxnError>,
-    server_tx: Sender<ToServer>,
+    /// The transport lost the server: every call fails with
+    /// [`TxnError::Server`] from here on.
+    dead: bool,
+    sink: Box<dyn RequestSink>,
 }
 
 impl ClientRuntime {
-    pub(crate) fn new(id: ClientId, config: &EngineConfig, server_tx: Sender<ToServer>) -> Self {
+    pub(crate) fn new(id: ClientId, params: ClientParams, sink: Box<dyn RequestSink>) -> Self {
         ClientRuntime {
             id,
-            protocol: config.protocol,
-            objects_per_page: config.objects_per_page,
-            max_object_bytes: config.page_size - 16,
+            protocol: params.protocol,
+            objects_per_page: params.objects_per_page,
+            max_object_bytes: params.page_size - 16,
             engine: ClientEngine::new(
                 id,
-                config.protocol,
-                config.objects_per_page,
-                config.client_cache_pages,
+                params.protocol,
+                params.objects_per_page,
+                params.client_cache_pages,
             ),
             pages: HashMap::new(),
             overlay: HashMap::new(),
@@ -75,7 +78,8 @@ impl ClientRuntime {
             txn_seq: 0,
             pending: None,
             killed: None,
-            server_tx,
+            dead: false,
+            sink,
         }
     }
 
@@ -92,6 +96,7 @@ impl ClientRuntime {
                     }
                 }
                 ClientMsg::Server(env) => self.handle_server(env),
+                ClientMsg::Lost => self.conn_lost(),
             }
         }
     }
@@ -104,7 +109,9 @@ impl ClientRuntime {
         debug_assert!(self.pending.is_none(), "one app call at a time");
         match cmd {
             AppCmd::Begin { reply } => {
-                let res = if self.engine.has_active_txn() {
+                let res = if self.dead {
+                    Err(TxnError::Server)
+                } else if self.engine.has_active_txn() {
                     Err(TxnError::TxnState("a transaction is already active"))
                 } else {
                     self.txn_seq += 1;
@@ -157,7 +164,10 @@ impl ClientRuntime {
             AppCmd::Stats { reply } => {
                 let _ = reply.send(Ok(self.engine.stats().clone()));
             }
-            AppCmd::Shutdown => return false,
+            AppCmd::Shutdown => {
+                self.sink.close();
+                return false;
+            }
         }
         true
     }
@@ -165,6 +175,9 @@ impl ClientRuntime {
     /// Common per-call validation: server-abort surfacing, slot range,
     /// and transaction existence.
     fn txn_guard(&mut self, slot: SlotId) -> Result<(), TxnError> {
+        if self.dead {
+            return Err(TxnError::Server);
+        }
         if let Some(e) = self.killed.take() {
             return Err(e);
         }
@@ -298,11 +311,9 @@ impl ClientRuntime {
                             .collect(),
                         _ => Vec::new(),
                     };
-                    let _ = self.server_tx.send(ToServer::Req {
-                        from: self.id,
-                        req,
-                        commit_data,
-                    });
+                    if self.sink.send_request(self.id, req, commit_data).is_err() {
+                        self.conn_lost();
+                    }
                 }
                 ClientAction::AccessReady { oid, write, .. } => self.complete_access(oid, write),
                 ClientAction::TxnEnded { outcome, .. } => self.finish_txn(outcome),
@@ -334,7 +345,14 @@ impl ClientRuntime {
                 self.dirty.entry(oid.page).or_default().insert(oid.slot);
                 let _ = reply.send(Ok(()));
             }
-            other => panic!("grant without a matching app call: {other:?}"),
+            other => {
+                if self.dead {
+                    // The pending call already failed in `conn_lost`;
+                    // envelopes queued before the loss still drain here.
+                    return;
+                }
+                panic!("grant without a matching app call: {other:?}")
+            }
         }
     }
 
@@ -363,6 +381,9 @@ impl ClientRuntime {
                 self.killed = Some(e);
             }
             (pending, outcome) => {
+                if self.dead {
+                    return; // see `complete_access`
+                }
                 panic!("inconsistent transaction end: {pending:?} vs {outcome:?}")
             }
         }
@@ -372,6 +393,26 @@ impl ClientRuntime {
     /// `Aborted` message; deadlock if the reason never reached us).
     fn kill_error(&mut self) -> TxnError {
         self.killed.take().unwrap_or(TxnError::Deadlock)
+    }
+
+    /// The transport lost the server (socket death or send failure): fail
+    /// the pending call and poison the runtime — every later call errors
+    /// with [`TxnError::Server`]. The engine's protocol state is beyond
+    /// repair without the server, so no local cleanup is attempted.
+    fn conn_lost(&mut self) {
+        self.dead = true;
+        match self.pending.take() {
+            Some(PendingApp::Read { reply, .. }) => {
+                let _ = reply.send(Err(TxnError::Server));
+            }
+            Some(PendingApp::Write { reply, .. }) => {
+                let _ = reply.send(Err(TxnError::Server));
+            }
+            Some(PendingApp::Commit { reply }) | Some(PendingApp::Abort { reply }) => {
+                let _ = reply.send(Err(TxnError::Server));
+            }
+            None => {}
+        }
     }
 
     // ------------------------------------------------------------------

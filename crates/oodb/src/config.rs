@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use crate::transport::TransportKind;
 use fgs_core::Protocol;
 
 /// Configuration for an embedded page-server database.
@@ -35,6 +36,12 @@ pub struct EngineConfig {
     /// request even in release builds (always on under
     /// `debug_assertions`). Expensive; for stress tests.
     pub paranoid: bool,
+    /// How client runtimes reach the server: in-process channels (the
+    /// default) or loopback TCP through the binary frame codec. The
+    /// default honors the `FGS_TRANSPORT` environment variable (see
+    /// [`TransportKind::from_env`]), which is how the test suites run
+    /// unmodified over both backends.
+    pub transport: TransportKind,
 }
 
 impl Default for EngineConfig {
@@ -51,6 +58,7 @@ impl Default for EngineConfig {
             server_workers: 4,
             group_commit_batch: 8,
             paranoid: false,
+            transport: TransportKind::from_env(),
         }
     }
 }

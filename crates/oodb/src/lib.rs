@@ -22,7 +22,12 @@
 //!   commit (batched log forces, see [`EngineConfig::group_commit_batch`]
 //!   and [`Oodb::store_stats`]), crash recovery (see `fgs-pagestore`);
 //! * size-changing updates: objects may grow up to page capacity;
-//!   overflow at the server forwards records transparently.
+//!   overflow at the server forwards records transparently;
+//! * a pluggable transport (DESIGN.md §12): the embedded engine runs its
+//!   clients over in-process channels or loopback TCP
+//!   ([`EngineConfig::transport`]), and the same server pipeline serves
+//!   remote processes via [`serve_tcp`] (the `fgs-serverd` binary) and
+//!   [`RemoteClient`].
 //!
 //! ```
 //! use fgs_oodb::{EngineConfig, Oodb};
@@ -47,35 +52,129 @@
 #![forbid(unsafe_code)]
 
 mod client;
+pub mod codec;
 mod config;
 mod error;
+mod remote;
 mod server;
 mod session;
-mod sync;
+mod transport;
 mod wire;
 
 pub use config::EngineConfig;
 pub use error::TxnError;
+pub use remote::{serve_tcp, RemoteClient, ServerHandle};
 pub use session::Session;
+pub use transport::TransportKind;
 
 use crate::client::ClientRuntime;
-use crate::server::{sender_loop, ServerRuntime};
+use crate::server::{sender_loop, SeqBatch, ServerRuntime};
+use crate::transport::channel::{ChannelPort, ChannelSink};
+use crate::transport::tcp::{TcpConnection, TcpServer, WelcomeInfo};
+use crate::transport::{ClientParams, ClientPort, PortMap};
 use crate::wire::{AppCmd, ClientMsg, ToServer};
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use fgs_core::server::ServerEngine;
 use fgs_core::{ClientId, ServerStats};
 use fgs_pagestore::{DiskManager, MemDisk, RecoveryReport, Store, StoreStats};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// The transport-independent server half: the sharded worker pool, the
+/// ordered send stage, and the port registry clients deliver through.
+/// [`Oodb`] wires local clients onto it; [`serve_tcp`] exposes it to
+/// remote ones.
+pub(crate) struct ServerCore {
+    runtime: Arc<ServerRuntime>,
+    worker_txs: Vec<Sender<ToServer>>,
+    ports: Arc<PortMap>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerCore {
+    /// Starts the pipeline: one send-stage thread plus
+    /// `min(server_workers, port_limit)` workers. `port_limit` caps
+    /// client ids (they shard over workers as `client % workers`).
+    pub(crate) fn start(config: &EngineConfig, store: Store, port_limit: u16) -> ServerCore {
+        let engine = ServerEngine::new(config.protocol, config.objects_per_page);
+        let runtime = Arc::new(ServerRuntime::new(
+            engine,
+            store,
+            config.group_commit_batch,
+            config.paranoid,
+        ));
+        let ports = Arc::new(PortMap::new(port_limit));
+        let n_workers = config.server_workers.min(port_limit as usize);
+        let mut threads = Vec::new();
+
+        // The send stage: one thread restoring engine order.
+        let (batch_tx, batch_rx) = unbounded::<SeqBatch>();
+        {
+            let ports = ports.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("fgs-send".into())
+                    .spawn(move || sender_loop(batch_rx, ports))
+                    .expect("spawn sender"),
+            );
+        }
+
+        // The worker pool: clients are sharded over workers so each
+        // client's requests stay FIFO.
+        let mut worker_txs = Vec::new();
+        for w in 0..n_workers {
+            let (tx, rx) = unbounded();
+            worker_txs.push(tx);
+            let runtime = runtime.clone();
+            let out = batch_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("fgs-server-{w}"))
+                    .spawn(move || runtime.worker_loop(rx, out))
+                    .expect("spawn server worker"),
+            );
+        }
+        drop(batch_tx); // sender exits once every worker is gone
+
+        ServerCore {
+            runtime,
+            worker_txs,
+            ports,
+            threads,
+        }
+    }
+
+    pub(crate) fn checkpoint(&self) -> std::io::Result<()> {
+        self.runtime.store().flush_all()
+    }
+
+    /// Stops the worker pool and the send stage. Transport threads (and
+    /// their ports) must be gone first so no request arrives after its
+    /// worker.
+    pub(crate) fn shutdown(&mut self) {
+        for tx in &self.worker_txs {
+            let _ = tx.send(ToServer::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    pub(crate) fn is_shut_down(&self) -> bool {
+        self.threads.is_empty()
+    }
+}
+
 /// An embedded page-server database: a sharded server worker pool plus
-/// one runtime thread per client workstation.
+/// one runtime thread per client workstation, wired over the configured
+/// [`TransportKind`].
 pub struct Oodb {
     config: EngineConfig,
-    worker_txs: Vec<Sender<ToServer>>,
+    core: ServerCore,
     client_txs: Vec<Sender<ClientMsg>>,
-    threads: Vec<JoinHandle<()>>,
-    runtime: Arc<ServerRuntime>,
+    client_threads: Vec<JoinHandle<()>>,
+    /// The loopback listener when running over [`TransportKind::Tcp`].
+    tcp: Option<TcpServer>,
 }
 
 impl Oodb {
@@ -99,7 +198,7 @@ impl Oodb {
         if init {
             store.init_objects(config.db_pages, config.objects_per_page, config.object_size)?;
         }
-        Ok(Self::start(config, store))
+        Self::start(config, store)
     }
 
     /// Recovers a database from a crashed disk image plus the durable log
@@ -112,19 +211,13 @@ impl Oodb {
         config.validate();
         let (store, report) =
             Store::recover(disk, log_bytes, config.server_pool_pages, config.db_pages)?;
-        Ok((Self::start(config, store), report))
+        Ok((Self::start(config, store)?, report))
     }
 
-    fn start(config: EngineConfig, store: Store) -> Oodb {
-        let engine = ServerEngine::new(config.protocol, config.objects_per_page);
-        let runtime = Arc::new(ServerRuntime::new(
-            engine,
-            store,
-            config.group_commit_batch,
-            config.paranoid,
-        ));
-        let n_workers = config.server_workers.min(config.n_clients as usize);
-        let mut threads = Vec::new();
+    fn start(config: EngineConfig, store: Store) -> std::io::Result<Oodb> {
+        let core = ServerCore::start(&config, store, config.n_clients);
+        let params = ClientParams::from_config(&config);
+        let mut client_threads = Vec::new();
 
         // Per-client inbox (application commands + server messages).
         let mut client_txs = Vec::new();
@@ -135,52 +228,48 @@ impl Oodb {
             client_rxs.push(rx);
         }
 
-        // The send stage: one thread restoring engine order.
-        let (batch_tx, batch_rx) = unbounded();
-        {
-            let client_txs = client_txs.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("fgs-send".into())
-                    .spawn(move || sender_loop(batch_rx, client_txs))
-                    .expect("spawn sender"),
-            );
-        }
-
-        // The worker pool: clients are sharded over workers so each
-        // client's requests stay FIFO.
-        let mut worker_txs = Vec::new();
-        for w in 0..n_workers {
-            let (tx, rx) = unbounded();
-            worker_txs.push(tx);
-            let runtime = runtime.clone();
-            let out = batch_tx.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("fgs-server-{w}"))
-                    .spawn(move || runtime.worker_loop(rx, out))
-                    .expect("spawn server worker"),
-            );
-        }
-        drop(batch_tx); // sender exits once every worker is gone
-
-        for (i, crx) in client_rxs.into_iter().enumerate() {
-            let server_tx = worker_txs[i % n_workers].clone();
-            let rt = ClientRuntime::new(ClientId(i as u16), &config, server_tx);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("fgs-client-{i}"))
-                    .spawn(move || rt.run(crx))
-                    .expect("spawn client"),
-            );
-        }
-        Oodb {
+        // Wire each client runtime to the server over the configured
+        // transport. If a loopback connection fails mid-start, the `?`
+        // unwinds cleanly: dropping the channel senders ends every thread
+        // already spawned.
+        let n_workers = core.worker_txs.len();
+        let tcp = match config.transport {
+            TransportKind::Channel => {
+                for (i, crx) in client_rxs.into_iter().enumerate() {
+                    let port: Arc<dyn ClientPort> =
+                        Arc::new(ChannelPort::new(client_txs[i].clone()));
+                    core.ports
+                        .register_port(Some(i as u16), port)
+                        .expect("register embedded client");
+                    let sink = Box::new(ChannelSink::new(core.worker_txs[i % n_workers].clone()));
+                    client_threads.push(spawn_client(ClientId(i as u16), params, sink, crx));
+                }
+                None
+            }
+            TransportKind::Tcp => {
+                let server = TcpServer::bind(
+                    ("127.0.0.1", 0),
+                    WelcomeInfo::from_config(&config),
+                    core.worker_txs.clone(),
+                    core.ports.clone(),
+                )?;
+                let addr = server.local_addr();
+                for (i, crx) in client_rxs.into_iter().enumerate() {
+                    let conn = TcpConnection::connect(addr, Some(i as u16))?;
+                    let sink = Box::new(conn.sink());
+                    client_threads.push(conn.spawn_reader(client_txs[i].clone()));
+                    client_threads.push(spawn_client(ClientId(i as u16), params, sink, crx));
+                }
+                Some(server)
+            }
+        };
+        Ok(Oodb {
             config,
-            worker_txs,
+            core,
             client_txs,
-            threads,
-            runtime,
-        }
+            client_threads,
+            tcp,
+        })
     }
 
     /// The engine configuration.
@@ -195,28 +284,28 @@ impl Oodb {
 
     /// Server-side protocol counters.
     pub fn server_stats(&self) -> ServerStats {
-        self.runtime.engine_stats()
+        self.core.runtime.engine_stats()
     }
 
     /// Commit-durability counters (group-commit batching, log forces).
     pub fn store_stats(&self) -> StoreStats {
-        self.runtime.store_stats()
+        self.core.runtime.store_stats()
     }
 
     /// Checks the server engine's internal invariants (tests).
     pub fn check_server_invariants(&self) {
-        self.runtime.check_invariants();
+        self.core.runtime.check_invariants();
     }
 
     /// Flushes all dirty pages and the log (checkpoint).
     pub fn checkpoint(&self) -> std::io::Result<()> {
-        self.runtime.store().flush_all()
+        self.core.checkpoint()
     }
 
     /// A snapshot of the *durable* log bytes, as a crash would leave them
     /// (for recovery tests).
     pub fn durable_log(&self) -> Vec<u8> {
-        self.runtime.store().wal().durable_bytes()
+        self.core.runtime.store().wal().durable_bytes()
     }
 
     /// Stops all threads, flushing state first.
@@ -226,22 +315,39 @@ impl Oodb {
 
     fn shutdown_inner(&mut self) {
         let _ = self.checkpoint();
+        // Clients first (runtimes close their sinks on the way out), then
+        // the transport, then the pipeline.
         for tx in &self.client_txs {
             let _ = tx.send(ClientMsg::App(AppCmd::Shutdown));
         }
-        for tx in &self.worker_txs {
-            let _ = tx.send(ToServer::Shutdown);
-        }
-        for t in self.threads.drain(..) {
+        for t in self.client_threads.drain(..) {
             let _ = t.join();
         }
+        if let Some(tcp) = self.tcp.as_mut() {
+            tcp.shutdown();
+        }
+        self.core.shutdown();
     }
 }
 
 impl Drop for Oodb {
     fn drop(&mut self) {
-        if !self.threads.is_empty() {
+        if !self.core.is_shut_down() {
             self.shutdown_inner();
         }
     }
+}
+
+/// Spawns one client runtime thread over its transport sink.
+fn spawn_client(
+    id: ClientId,
+    params: ClientParams,
+    sink: Box<dyn transport::RequestSink>,
+    rx: Receiver<ClientMsg>,
+) -> JoinHandle<()> {
+    let rt = ClientRuntime::new(id, params, sink);
+    std::thread::Builder::new()
+        .name(format!("fgs-client-{}", id.0))
+        .spawn(move || rt.run(rx))
+        .expect("spawn client")
 }

@@ -1,0 +1,190 @@
+//! Remote operation: the same server pipeline behind a TCP listener
+//! ([`serve_tcp`], the `fgs-serverd` binary) and a client runtime that
+//! reaches it from another process ([`RemoteClient`]).
+//!
+//! A remote client is configured entirely by the server: the handshake
+//! `Welcome` carries the protocol and cache parameters, so connecting
+//! takes nothing but an address. The runtime behind a [`RemoteClient`]
+//! is the *same* client runtime the embedded engine runs — only the
+//! sink and the inbox feed differ (DESIGN.md §12).
+
+use crate::transport::tcp::{TcpConnection, TcpServer, WelcomeInfo};
+use crate::wire::{AppCmd, ClientMsg};
+use crate::{EngineConfig, ServerCore, Session};
+use crossbeam::channel::{unbounded, Sender};
+use fgs_core::{ClientId, ServerStats};
+use fgs_pagestore::{DiskManager, MemDisk, Store, StoreStats};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running page server accepting TCP clients; dropping it (or calling
+/// [`ServerHandle::shutdown`]) checkpoints and stops it.
+pub struct ServerHandle {
+    config: EngineConfig,
+    core: ServerCore,
+    tcp: Option<TcpServer>,
+}
+
+/// Serves a fresh in-memory database on `addr` (e.g. `"127.0.0.1:0"` for
+/// an ephemeral port — read it back via [`ServerHandle::local_addr`]).
+///
+/// Up to [`EngineConfig::n_clients`] clients may be connected at once;
+/// ids are assigned (or validated) at handshake and shard over the
+/// worker pool exactly as embedded clients do.
+/// [`EngineConfig::transport`] is ignored — this server *is* the TCP
+/// transport.
+pub fn serve_tcp(config: EngineConfig, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+    config.validate();
+    let disk = Arc::new(MemDisk::new(config.page_size));
+    serve_tcp_with_disk(config, addr, disk, true)
+}
+
+/// [`serve_tcp`] over an existing disk; `init = false` attaches to a
+/// disk image that already holds data.
+pub fn serve_tcp_with_disk(
+    config: EngineConfig,
+    addr: impl ToSocketAddrs,
+    disk: Arc<dyn DiskManager>,
+    init: bool,
+) -> std::io::Result<ServerHandle> {
+    config.validate();
+    let store = Store::new(disk, config.server_pool_pages, config.db_pages);
+    if init {
+        store.init_objects(config.db_pages, config.objects_per_page, config.object_size)?;
+    }
+    let core = ServerCore::start(&config, store, config.n_clients);
+    let tcp = TcpServer::bind(
+        addr,
+        WelcomeInfo::from_config(&config),
+        core.worker_txs.clone(),
+        core.ports.clone(),
+    )?;
+    Ok(ServerHandle {
+        config,
+        core,
+        tcp: Some(tcp),
+    })
+}
+
+impl ServerHandle {
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The bound listen address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.tcp.as_ref().expect("server is running").local_addr()
+    }
+
+    /// Server-side protocol counters.
+    pub fn server_stats(&self) -> ServerStats {
+        self.core.runtime.engine_stats()
+    }
+
+    /// Commit-durability counters (group-commit batching, log forces).
+    pub fn store_stats(&self) -> StoreStats {
+        self.core.runtime.store_stats()
+    }
+
+    /// Checks the server engine's internal invariants (tests).
+    pub fn check_server_invariants(&self) {
+        self.core.runtime.check_invariants();
+    }
+
+    /// Flushes all dirty pages and the log (checkpoint).
+    pub fn checkpoint(&self) -> std::io::Result<()> {
+        self.core.checkpoint()
+    }
+
+    /// Checkpoints, disconnects every client, and stops the pipeline.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.core.checkpoint();
+        if let Some(mut tcp) = self.tcp.take() {
+            tcp.shutdown();
+        }
+        self.core.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if !self.core.is_shut_down() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// A client workstation in another process: a full client runtime (cache,
+/// protocol engine) over a TCP connection to a [`serve_tcp`] server.
+///
+/// If the connection dies, every pending and future call fails with
+/// [`TxnError::Server`](crate::TxnError::Server); reconnect by creating
+/// a fresh `RemoteClient`.
+pub struct RemoteClient {
+    client: u16,
+    tx: Sender<ClientMsg>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RemoteClient {
+    /// Connects and lets the server assign a free client id.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<RemoteClient> {
+        Self::connect_as(addr, None)
+    }
+
+    /// Connects as a specific client id (refused if taken or out of
+    /// range).
+    pub fn connect_as(
+        addr: impl ToSocketAddrs,
+        want: Option<u16>,
+    ) -> std::io::Result<RemoteClient> {
+        let conn = TcpConnection::connect(addr, want)?;
+        let client = conn.client;
+        let params = conn.params;
+        let sink = Box::new(conn.sink());
+        let (tx, rx) = unbounded();
+        let reader = conn.spawn_reader(tx.clone());
+        let runtime = crate::spawn_client(ClientId(client), params, sink, rx);
+        Ok(RemoteClient {
+            client,
+            tx,
+            threads: vec![reader, runtime],
+        })
+    }
+
+    /// The client id the server bound this connection to.
+    pub fn client_id(&self) -> u16 {
+        self.client
+    }
+
+    /// A session on this workstation (one transaction at a time).
+    pub fn session(&self) -> Session {
+        Session::new(self.client, self.tx.clone())
+    }
+
+    /// Says goodbye to the server and stops the runtime.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.tx.send(ClientMsg::App(AppCmd::Shutdown));
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RemoteClient {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}

@@ -24,10 +24,10 @@
 //!   sequence number, so every client observes the engine's order even
 //!   though attaches finish out of order.
 
-use crate::sync::{Condvar, Mutex};
-use crate::wire::{ClientMsg, SharedBytes, ToClient, ToServer};
+use crate::wire::{SharedBytes, ToClient, ToServer};
 use crossbeam::channel::{Receiver, Sender};
 use fgs_core::server::{ServerAction, ServerEngine, ServerStats};
+use fgs_core::sync::{Condvar, Mutex};
 use fgs_core::{AbortReason, ClientId, DataGrant, Oid, PageId, Request, ServerMsg, TxnId};
 use fgs_pagestore::{Lsn, Store, StoreStats};
 use std::collections::HashMap;
@@ -388,17 +388,21 @@ impl ServerRuntime {
 
 /// The send stage: restores the engine's serialization order across
 /// workers. Batches arrive stamped with the sequence assigned under the
-/// engine lock; they are released to the per-client channels strictly in
+/// engine lock; they are released to the per-client ports strictly in
 /// that order, so each client sees messages exactly as the engine
-/// produced them.
-pub(crate) fn sender_loop(rx: Receiver<SeqBatch>, client_txs: Vec<Sender<ClientMsg>>) {
+/// produced them. Ports resolve per delivery through the
+/// [`PortMap`](crate::transport::PortMap), so TCP clients may come and
+/// go without the pipeline noticing.
+pub(crate) fn sender_loop(rx: Receiver<SeqBatch>, ports: Arc<crate::transport::PortMap>) {
     let mut next: u64 = 0;
     let mut held: HashMap<u64, Vec<(ClientId, ToClient)>> = HashMap::new();
     let deliver = |msgs: Vec<(ClientId, ToClient)>| {
         for (to, env) in msgs {
-            // A send error means the client runtime is gone (shutdown
-            // race); drop the message.
-            let _ = client_txs[to.0 as usize].send(ClientMsg::Server(env));
+            // No port, or a dead one, means the client is gone (shutdown
+            // race or dropped connection); drop the message.
+            if let Some(port) = ports.lookup_port(to.0) {
+                let _ = port.deliver(env);
+            }
         }
     };
     for batch in rx.iter() {
@@ -420,7 +424,7 @@ pub(crate) fn sender_loop(rx: Receiver<SeqBatch>, client_txs: Vec<Sender<ClientM
 /// Model checking for group-commit leader/follower coalescing, run only
 /// under `RUSTFLAGS="--cfg loom"` (see DESIGN.md §"Lock ordering and
 /// concurrency invariants"). [`GroupCommit`]'s mutex and condvar resolve to
-/// `loom::sync` types through [`crate::sync`], so the explored schedules
+/// `loom::sync` types through [`fgs_core::sync`], so the explored schedules
 /// drive the production `force` path: leader election, the gather window,
 /// pending-list draining, and the drained-vs-piggyback accounting split.
 #[cfg(all(test, loom))]

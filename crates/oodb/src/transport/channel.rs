@@ -1,0 +1,59 @@
+//! The in-process channel transport: crossbeam senders on both halves.
+//!
+//! This is the embedded engine's default wire. Requests go straight into
+//! the owning worker shard's queue; envelopes go straight into the client
+//! runtime's inbox. Payload [`SharedBytes`](crate::wire::SharedBytes)
+//! `Arc`s are cloned, never serialized — the zero-copy fan-out path.
+
+use super::{ClientPort, RequestSink};
+use crate::error::TxnError;
+use crate::wire::{ClientMsg, ToClient, ToServer};
+use crossbeam::channel::Sender;
+use fgs_core::{ClientId, Oid, Request};
+
+/// Client→server over the worker shard's channel.
+pub(crate) struct ChannelSink {
+    worker_tx: Sender<ToServer>,
+}
+
+impl ChannelSink {
+    pub(crate) fn new(worker_tx: Sender<ToServer>) -> ChannelSink {
+        ChannelSink { worker_tx }
+    }
+}
+
+impl RequestSink for ChannelSink {
+    fn send_request(
+        &self,
+        from: ClientId,
+        req: Request,
+        commit_data: Vec<(Oid, Vec<u8>)>,
+    ) -> Result<(), TxnError> {
+        self.worker_tx
+            .send(ToServer::Req {
+                from,
+                req,
+                commit_data,
+            })
+            .map_err(|_| TxnError::Server)
+    }
+}
+
+/// Server→client into the runtime's inbox.
+pub(crate) struct ChannelPort {
+    inbox: Sender<ClientMsg>,
+}
+
+impl ChannelPort {
+    pub(crate) fn new(inbox: Sender<ClientMsg>) -> ChannelPort {
+        ChannelPort { inbox }
+    }
+}
+
+impl ClientPort for ChannelPort {
+    fn deliver(&self, env: ToClient) -> bool {
+        self.inbox.send(ClientMsg::Server(env)).is_ok()
+    }
+
+    fn close(&self) {}
+}

@@ -1,0 +1,260 @@
+//! The transport layer: how client runtimes and the server pipeline
+//! exchange [`wire`](crate::wire) envelopes.
+//!
+//! The protocol engines and the server pipeline are transport-blind; they
+//! speak through two narrow traits. [`RequestSink`] is the client→server
+//! half (a runtime pushes requests into it), and [`ClientPort`] is the
+//! server→client half (the send stage delivers ordered envelopes through
+//! it). Two backends implement them:
+//!
+//! * [`channel`] — in-process crossbeam channels, the embedded default.
+//!   Payload `Arc`s move through memory untouched (zero-copy fan-out).
+//! * [`tcp`] — real sockets framed by [`crate::codec`], used by the
+//!   `fgs-serverd` binary and [`crate::RemoteClient`], and by the
+//!   embedded engine when [`TransportKind::Tcp`] is configured (every
+//!   client loops back through a real socket pair).
+//!
+//! The server side is backend-agnostic through [`PortMap`]: a registry of
+//! live ports keyed by client id. Embedded channel clients register at
+//! startup; TCP connections register at handshake and deregister when the
+//! socket dies.
+
+pub(crate) mod channel;
+pub(crate) mod tcp;
+
+use crate::error::TxnError;
+use crate::wire::ToClient;
+use fgs_core::sync::Mutex;
+use fgs_core::{ClientId, Oid, Protocol, Request};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which transport the embedded engine wires its clients over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process crossbeam channels (zero-copy, the default).
+    Channel,
+    /// Loopback TCP: every client runtime talks to the server through a
+    /// real socket and the binary frame codec, exercising the full wire
+    /// path in-process.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Reads the `FGS_TRANSPORT` environment variable (`"tcp"` or
+    /// `"channel"`, case-insensitive); anything else — including unset —
+    /// means [`TransportKind::Channel`]. The test suites use this to run
+    /// unmodified over both backends.
+    pub fn from_env() -> TransportKind {
+        match std::env::var("FGS_TRANSPORT") {
+            Ok(v) if v.eq_ignore_ascii_case("tcp") => TransportKind::Tcp,
+            _ => TransportKind::Channel,
+        }
+    }
+}
+
+/// Everything a client runtime needs to configure its protocol engine
+/// and byte cache. Embedded clients derive it from the [`EngineConfig`];
+/// remote clients receive it in the handshake `Welcome`.
+///
+/// [`EngineConfig`]: crate::EngineConfig
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ClientParams {
+    pub protocol: Protocol,
+    pub objects_per_page: u16,
+    pub page_size: usize,
+    pub client_cache_pages: usize,
+}
+
+impl ClientParams {
+    pub(crate) fn from_config(config: &crate::EngineConfig) -> ClientParams {
+        ClientParams {
+            protocol: config.protocol,
+            objects_per_page: config.objects_per_page,
+            page_size: config.page_size,
+            client_cache_pages: config.client_cache_pages,
+        }
+    }
+}
+
+/// The client→server half of a transport. A send failure means the
+/// connection is gone; the runtime fails its pending call with
+/// [`TxnError::Server`] and every later call the same way.
+pub(crate) trait RequestSink: Send {
+    /// Ships one protocol request (commits carry their dirty bytes).
+    fn send_request(
+        &self,
+        from: ClientId,
+        req: Request,
+        commit_data: Vec<(Oid, Vec<u8>)>,
+    ) -> Result<(), TxnError>;
+
+    /// Says goodbye before the runtime exits (idempotent; channel
+    /// transports have nothing to do).
+    fn close(&self) {}
+}
+
+/// The server→client half of a transport: the send stage delivers
+/// engine-ordered envelopes through it.
+pub(crate) trait ClientPort: Send + Sync {
+    /// Delivers one envelope; `false` means the port is dead (the send
+    /// stage drops the message — the peer is gone).
+    fn deliver(&self, env: ToClient) -> bool;
+
+    /// Tears the port down (shuts the socket; channel ports are dropped).
+    fn close(&self);
+}
+
+/// The registry state under the [`PortMap`] lock — a distinct type so the
+/// lock-order lint can rank it (`PortTable` sits after the storage locks;
+/// see DESIGN.md §10).
+struct PortTable {
+    ports: HashMap<u16, Arc<dyn ClientPort>>,
+    /// Set by [`PortMap::close_all_ports`]; refuses late registrations so
+    /// a connection racing server shutdown cannot park itself forever.
+    closed: bool,
+}
+
+/// Live client ports keyed by client id. The send stage resolves the
+/// destination of every envelope here, so clients may come and go (TCP)
+/// without the pipeline noticing.
+///
+/// Lock discipline: the table lock guards only the map — `deliver` and
+/// `close` run on a cloned `Arc` *after* the guard drops, so a slow or
+/// blocked socket never stalls registration or other clients' lookups.
+pub(crate) struct PortMap {
+    table: Mutex<PortTable>,
+    /// Client ids must stay below this (they shard over server workers).
+    limit: u16,
+}
+
+impl PortMap {
+    pub(crate) fn new(limit: u16) -> PortMap {
+        PortMap {
+            table: Mutex::new(PortTable {
+                ports: HashMap::new(),
+                closed: false,
+            }),
+            limit,
+        }
+    }
+
+    /// Binds `port` to `want` (or the lowest free id), failing if the id
+    /// is taken or the table is full.
+    pub(crate) fn register_port(
+        &self,
+        want: Option<u16>,
+        port: Arc<dyn ClientPort>,
+    ) -> Result<u16, &'static str> {
+        let mut table = self.table.lock();
+        if table.closed {
+            return Err("server is shutting down");
+        }
+        let id = match want {
+            Some(id) => {
+                if id >= self.limit {
+                    return Err("client id out of range");
+                }
+                if table.ports.contains_key(&id) {
+                    return Err("client id in use");
+                }
+                id
+            }
+            None => match (0..self.limit).find(|id| !table.ports.contains_key(id)) {
+                Some(id) => id,
+                None => return Err("server is full"),
+            },
+        };
+        table.ports.insert(id, port);
+        Ok(id)
+    }
+
+    /// Unbinds `id`, but only while it still maps to `port` — a client
+    /// that reconnected (rebinding the id) must not be torn down by its
+    /// predecessor's cleanup.
+    pub(crate) fn deregister_port(&self, id: u16, port: &Arc<dyn ClientPort>) {
+        let mut table = self.table.lock();
+        if let Some(current) = table.ports.get(&id) {
+            if Arc::ptr_eq(current, port) {
+                table.ports.remove(&id);
+            }
+        }
+    }
+
+    /// The port bound to `id`, if any.
+    pub(crate) fn lookup_port(&self, id: u16) -> Option<Arc<dyn ClientPort>> {
+        self.table.lock().ports.get(&id).cloned()
+    }
+
+    /// Empties the registry, refuses all future registrations, and closes
+    /// every port (server shutdown); ports are closed after the guard
+    /// drops.
+    pub(crate) fn close_all_ports(&self) {
+        let drained: Vec<Arc<dyn ClientPort>> = {
+            let mut table = self.table.lock();
+            table.closed = true;
+            table.ports.drain().map(|(_, p)| p).collect()
+        };
+        for port in drained {
+            port.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountingPort(AtomicUsize);
+    impl ClientPort for CountingPort {
+        fn deliver(&self, _env: ToClient) -> bool {
+            true
+        }
+        fn close(&self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn port() -> Arc<CountingPort> {
+        Arc::new(CountingPort(AtomicUsize::new(0)))
+    }
+
+    #[test]
+    fn register_assigns_lowest_free_id() {
+        let map = PortMap::new(3);
+        assert_eq!(map.register_port(None, port()), Ok(0));
+        assert_eq!(map.register_port(Some(2), port()), Ok(2));
+        assert_eq!(map.register_port(None, port()), Ok(1));
+        assert_eq!(map.register_port(None, port()), Err("server is full"));
+    }
+
+    #[test]
+    fn register_rejects_taken_and_out_of_range_ids() {
+        let map = PortMap::new(2);
+        assert_eq!(map.register_port(Some(0), port()), Ok(0));
+        assert_eq!(map.register_port(Some(0), port()), Err("client id in use"));
+        assert_eq!(
+            map.register_port(Some(2), port()),
+            Err("client id out of range")
+        );
+    }
+
+    #[test]
+    fn deregister_ignores_a_superseded_binding() {
+        let map = PortMap::new(1);
+        let old = port();
+        let old_dyn: Arc<dyn ClientPort> = old.clone();
+        map.register_port(Some(0), old.clone()).unwrap();
+        // The old connection dies, a new one rebinds the id...
+        map.deregister_port(0, &old_dyn);
+        let new = port();
+        map.register_port(Some(0), new.clone()).unwrap();
+        // ...and the old connection's (late, duplicate) cleanup is a no-op.
+        map.deregister_port(0, &old_dyn);
+        assert!(map.lookup_port(0).is_some());
+        map.close_all_ports();
+        assert_eq!(new.0.load(Ordering::SeqCst), 1);
+        assert!(map.lookup_port(0).is_none());
+    }
+}

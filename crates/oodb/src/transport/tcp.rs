@@ -1,0 +1,492 @@
+//! The TCP transport: one reader/writer socket pair per connection,
+//! framed by [`crate::codec`].
+//!
+//! Connections open with a `Hello`/`Welcome` handshake that negotiates
+//! the frame-format version and binds a client id; the `Welcome` carries
+//! the engine parameters, so a [`RemoteClient`](crate::RemoteClient)
+//! needs no local configuration. After the handshake each side runs one
+//! dedicated reader thread; writes are serialized by a small mutex around
+//! the write half ([`ConnWriter`] in the lock-order DAG, DESIGN.md §10).
+//!
+//! Timeouts: the handshake read is bounded (a dead or hostile peer cannot
+//! park a connection thread), and every write is bounded (a stalled peer
+//! marks the connection dead instead of wedging the send stage). Steady-
+//! state reads are *unbounded* by design — a client legitimately blocks
+//! for as long as a lock conflict lasts; liveness there is the deadlock
+//! detector's job, not the socket's. Dead connections surface to the
+//! application as [`TxnError::Server`](crate::TxnError::Server).
+
+use super::{ClientParams, ClientPort, PortMap, RequestSink};
+use crate::codec::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use crate::error::TxnError;
+use crate::wire::{ClientMsg, ToClient, ToServer};
+use crossbeam::channel::Sender;
+use fgs_core::sync::Mutex;
+use fgs_core::{ClientId, Oid, Protocol, Request};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a freshly accepted connection may take to say `Hello` (and a
+/// connecting client may wait for its `Welcome`).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Per-write bound; a peer that cannot drain a frame for this long is
+/// treated as dead.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The write half of a connection plus its health — a distinct type so
+/// the lock-order lint ranks the mutex around it (`ConnWriter`, the
+/// innermost class; see DESIGN.md §10).
+struct ConnWriter {
+    stream: TcpStream,
+    /// A failed or timed-out write poisons the connection; later sends
+    /// fail fast instead of interleaving bytes into a torn frame.
+    dead: bool,
+}
+
+/// One side's handle on an established connection: the shared write half.
+/// The read half lives in the connection's dedicated reader thread.
+pub(crate) struct TcpPeer {
+    writer: Mutex<ConnWriter>,
+}
+
+impl TcpPeer {
+    fn new(stream: TcpStream) -> TcpPeer {
+        TcpPeer {
+            writer: Mutex::new(ConnWriter {
+                stream,
+                dead: false,
+            }),
+        }
+    }
+
+    /// Writes one frame, whole or not at all from this side's view: any
+    /// error (including a write timeout) kills the connection.
+    fn send_frame(&self, frame: &Frame) -> io::Result<()> {
+        let mut w = self.writer.lock();
+        if w.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection is dead",
+            ));
+        }
+        match write_frame(&mut w.stream, frame) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                w.dead = true;
+                let _ = w.stream.shutdown(Shutdown::Both);
+                Err(e)
+            }
+        }
+    }
+
+    /// Tears the socket down (both directions), unblocking the reader.
+    fn shutdown_conn(&self) {
+        let mut w = self.writer.lock();
+        w.dead = true;
+        let _ = w.stream.shutdown(Shutdown::Both);
+    }
+}
+
+fn configure_stream(stream: &TcpStream) -> io::Result<()> {
+    // Request/response traffic with small frames: Nagle + delayed ACK
+    // would serialize the whole pipeline on timer ticks.
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Server side
+// ----------------------------------------------------------------------
+
+/// Engine parameters the server advertises in every `Welcome`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WelcomeInfo {
+    pub protocol: Protocol,
+    pub objects_per_page: u16,
+    pub page_size: u32,
+    pub client_cache_pages: u32,
+}
+
+impl WelcomeInfo {
+    pub(crate) fn from_config(config: &crate::EngineConfig) -> WelcomeInfo {
+        WelcomeInfo {
+            protocol: config.protocol,
+            objects_per_page: config.objects_per_page,
+            page_size: config.page_size as u32,
+            client_cache_pages: config.client_cache_pages as u32,
+        }
+    }
+}
+
+/// Server→client over a connection's write half.
+struct TcpPort {
+    peer: Arc<TcpPeer>,
+}
+
+impl ClientPort for TcpPort {
+    fn deliver(&self, env: ToClient) -> bool {
+        self.peer
+            .send_frame(&Frame::Server {
+                msg: env.msg,
+                page_image: env.page_image,
+                object_bytes: env.object_bytes,
+            })
+            .is_ok()
+    }
+
+    fn close(&self) {
+        self.peer.shutdown_conn();
+    }
+}
+
+/// The listening side: an accept thread spawning one reader thread per
+/// connection. Connections register in the shared [`PortMap`] at
+/// handshake, so the engine's send stage reaches them like any other
+/// port.
+pub(crate) struct TcpServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    ports: Arc<PortMap>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` and starts accepting. `worker_txs` are the engine's
+    /// request shards (requests route by `client % workers`, same as the
+    /// channel transport).
+    pub(crate) fn bind(
+        addr: impl ToSocketAddrs,
+        welcome: WelcomeInfo,
+        worker_txs: Vec<Sender<ToServer>>,
+        ports: Arc<PortMap>,
+    ) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = stop.clone();
+            let ports = ports.clone();
+            std::thread::Builder::new()
+                .name("fgs-accept".into())
+                .spawn(move || accept_loop(listener, welcome, worker_txs, ports, stop))
+                .expect("spawn acceptor")
+        };
+        Ok(TcpServer {
+            local,
+            stop,
+            ports,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Stops accepting, tears down every live connection, and joins all
+    /// transport threads. Idempotent.
+    pub(crate) fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Fence and unblock: no new registrations, live sockets shut.
+        self.ports.close_all_ports();
+        // Wake the acceptor; it sees `stop` and exits (joining its
+        // connection threads on the way out).
+        let _ = TcpStream::connect(self.local);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    welcome: WelcomeInfo,
+    worker_txs: Vec<Sender<ToServer>>,
+    ports: Arc<PortMap>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut next = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            break; // the shutdown wake-up connection
+        }
+        let worker_txs = worker_txs.clone();
+        let ports = ports.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("fgs-conn-{next}"))
+            .spawn(move || serve_conn(stream, welcome, worker_txs, ports))
+            .expect("spawn connection");
+        conns.push(handle);
+        next += 1;
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Runs one server-side connection to completion: handshake, register,
+/// forward requests into the engine, deregister.
+fn serve_conn(
+    stream: TcpStream,
+    welcome: WelcomeInfo,
+    worker_txs: Vec<Sender<ToServer>>,
+    ports: Arc<PortMap>,
+) {
+    if configure_stream(&stream).is_err() {
+        return;
+    }
+    let mut read_half = stream;
+    let write_half = match read_half.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let peer = Arc::new(TcpPeer::new(write_half));
+
+    // Handshake: Hello → (version check, id binding) → Welcome | Reject.
+    let (min_version, max_version, want) = match read_frame(&mut read_half) {
+        Ok(Frame::Hello {
+            min_version,
+            max_version,
+            client,
+        }) => (min_version, max_version, client),
+        _ => {
+            peer.shutdown_conn();
+            return;
+        }
+    };
+    if min_version > PROTOCOL_VERSION || max_version < 1 {
+        let _ = peer.send_frame(&Frame::Reject {
+            reason: format!("unsupported frame version range {min_version}..={max_version}"),
+        });
+        peer.shutdown_conn();
+        return;
+    }
+    let port: Arc<dyn ClientPort> = Arc::new(TcpPort { peer: peer.clone() });
+    let id = match ports.register_port(want, port.clone()) {
+        Ok(id) => id,
+        Err(reason) => {
+            let _ = peer.send_frame(&Frame::Reject {
+                reason: reason.to_string(),
+            });
+            peer.shutdown_conn();
+            return;
+        }
+    };
+    let accepted = peer
+        .send_frame(&Frame::Welcome {
+            version: PROTOCOL_VERSION.min(max_version),
+            client: id,
+            protocol: welcome.protocol,
+            objects_per_page: welcome.objects_per_page,
+            page_size: welcome.page_size,
+            client_cache_pages: welcome.client_cache_pages,
+        })
+        .is_ok();
+
+    // Steady state: unbounded reads (see module docs), requests forwarded
+    // into the owning worker shard.
+    if accepted && read_half.set_read_timeout(None).is_ok() {
+        let worker = &worker_txs[id as usize % worker_txs.len()];
+        // `Bye`, any other frame (protocol violation), or a read error
+        // all end the connection.
+        while let Ok(Frame::Request {
+            from,
+            req,
+            commit_data,
+        }) = read_frame(&mut read_half)
+        {
+            // A connection may only speak for the id it bound.
+            if from.0 != id {
+                break;
+            }
+            if worker
+                .send(ToServer::Req {
+                    from,
+                    req,
+                    commit_data,
+                })
+                .is_err()
+            {
+                break;
+            }
+        }
+    }
+    ports.deregister_port(id, &port);
+    peer.shutdown_conn();
+}
+
+// ----------------------------------------------------------------------
+// Client side
+// ----------------------------------------------------------------------
+
+/// Client→server over the connection's write half.
+pub(crate) struct TcpSink {
+    peer: Arc<TcpPeer>,
+}
+
+impl RequestSink for TcpSink {
+    fn send_request(
+        &self,
+        from: ClientId,
+        req: Request,
+        commit_data: Vec<(Oid, Vec<u8>)>,
+    ) -> Result<(), TxnError> {
+        self.peer
+            .send_frame(&Frame::Request {
+                from,
+                req,
+                commit_data,
+            })
+            .map_err(|_| TxnError::Server)
+    }
+
+    fn close(&self) {
+        let _ = self.peer.send_frame(&Frame::Bye);
+        self.peer.shutdown_conn();
+    }
+}
+
+/// An established, handshaken client-side connection.
+pub(crate) struct TcpConnection {
+    peer: Arc<TcpPeer>,
+    read_half: TcpStream,
+    /// The client id the server bound this connection to.
+    pub client: u16,
+    /// Engine parameters from the server's `Welcome`.
+    pub params: ClientParams,
+}
+
+impl TcpConnection {
+    /// Connects, handshakes, and returns a ready connection. `want` pins
+    /// a client id; `None` lets the server assign one.
+    pub(crate) fn connect(
+        addr: impl ToSocketAddrs,
+        want: Option<u16>,
+    ) -> io::Result<TcpConnection> {
+        let stream = TcpStream::connect(addr)?;
+        configure_stream(&stream)?;
+        let mut read_half = stream.try_clone()?;
+        let peer = Arc::new(TcpPeer::new(stream));
+        peer.send_frame(&Frame::Hello {
+            min_version: 1,
+            max_version: PROTOCOL_VERSION,
+            client: want,
+        })?;
+        let welcome = match read_frame(&mut read_half) {
+            Ok(Frame::Welcome {
+                version,
+                client,
+                protocol,
+                objects_per_page,
+                page_size,
+                client_cache_pages,
+            }) => {
+                if !(1..=PROTOCOL_VERSION).contains(&version) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("server negotiated unknown frame version {version}"),
+                    ));
+                }
+                TcpConnection {
+                    peer,
+                    read_half,
+                    client,
+                    params: ClientParams {
+                        protocol,
+                        objects_per_page,
+                        page_size: page_size as usize,
+                        client_cache_pages: client_cache_pages as usize,
+                    },
+                }
+            }
+            Ok(Frame::Reject { reason }) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("server rejected connection: {reason}"),
+                ));
+            }
+            Ok(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected frame during handshake",
+                ));
+            }
+            Err(e) => return Err(e),
+        };
+        welcome.read_half.set_read_timeout(None)?;
+        Ok(welcome)
+    }
+
+    /// The request sink for this connection's runtime.
+    pub(crate) fn sink(&self) -> TcpSink {
+        TcpSink {
+            peer: self.peer.clone(),
+        }
+    }
+
+    /// Consumes the read half into a reader thread feeding `inbox`:
+    /// server envelopes as [`ClientMsg::Server`], connection death as
+    /// [`ClientMsg::Lost`].
+    pub(crate) fn spawn_reader(self, inbox: Sender<ClientMsg>) -> JoinHandle<()> {
+        let TcpConnection {
+            peer,
+            mut read_half,
+            client,
+            ..
+        } = self;
+        std::thread::Builder::new()
+            .name(format!("fgs-rx-{client}"))
+            .spawn(move || {
+                loop {
+                    match read_frame(&mut read_half) {
+                        Ok(Frame::Server {
+                            msg,
+                            page_image,
+                            object_bytes,
+                        }) => {
+                            let env = ToClient {
+                                msg,
+                                page_image,
+                                object_bytes,
+                            };
+                            if inbox.send(ClientMsg::Server(env)).is_err() {
+                                break; // runtime is gone
+                            }
+                        }
+                        // `Bye`, an unexpected frame, or a dead socket:
+                        // tell the runtime the server is unreachable.
+                        Ok(_) | Err(_) => {
+                            let _ = inbox.send(ClientMsg::Lost);
+                            break;
+                        }
+                    }
+                }
+                peer.shutdown_conn();
+            })
+            .expect("spawn connection reader")
+    }
+}

@@ -4,22 +4,8 @@
 use crate::error::TxnError;
 use crossbeam::channel::Sender;
 use fgs_core::{ClientId, Oid, Request, ServerMsg};
-use std::sync::Arc;
 
-/// A shared, immutable byte payload on the server→client wire.
-///
-/// Grants that fan the same page image (or object bytes) to several
-/// clients in one engine batch clone the `Arc`, not the bytes — the
-/// server copies each payload out of the store once per batch. The inner
-/// `Vec` (rather than `Arc<[u8]>`) lets the *last* receiver reclaim the
-/// buffer with [`into_owned`] instead of copying it again.
-pub(crate) type SharedBytes = Arc<Vec<u8>>;
-
-/// Unwraps a [`SharedBytes`] into an owned buffer: free when this is the
-/// only reference (the common single-recipient case), one copy otherwise.
-pub(crate) fn into_owned(bytes: SharedBytes) -> Vec<u8> {
-    Arc::try_unwrap(bytes).unwrap_or_else(|shared| (*shared).clone())
-}
+pub(crate) use crate::codec::{into_owned, SharedBytes};
 
 /// Client → server envelope.
 #[derive(Debug)]
@@ -58,6 +44,10 @@ pub(crate) enum ClientMsg {
     App(AppCmd),
     /// An envelope from the server.
     Server(ToClient),
+    /// The transport lost the server connection: every pending and future
+    /// call fails with [`TxnError::Server`]. Channel transports never send
+    /// this; the TCP reader does when the socket dies.
+    Lost,
 }
 
 /// Application → client-runtime commands.

@@ -1,0 +1,164 @@
+//! Property tests for the wire envelope: every [`Frame`] kind round-trips
+//! through `encode_frame`/`decode_frame` and through the stream API,
+//! truncated frames are rejected, and no byte soup panics the decoder.
+//!
+//! Exhaustive coverage of the *body* encodings lives in fgs-core's
+//! `codec_props`; the strategies here keep the protocol payloads small and
+//! focus on the envelope: kinds, the handshake fields, the payload flag
+//! byte, and the length prefix.
+
+use fgs_core::{ClientId, Oid, PageId, Protocol, Request, ServerMsg, TxnId};
+use fgs_oodb::codec::{decode_frame, encode_frame, read_frame, Frame, MAX_FRAME};
+use proptest::prelude::*;
+use std::io::Cursor;
+use std::sync::Arc;
+
+fn txn_id() -> impl Strategy<Value = TxnId> {
+    (any::<u16>(), any::<u64>()).prop_map(|(c, seq)| TxnId::new(ClientId(c), seq))
+}
+
+fn oid() -> impl Strategy<Value = Oid> {
+    (any::<u32>(), any::<u16>()).prop_map(|(p, s)| Oid::new(PageId(p), s))
+}
+
+fn protocol() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::Ps),
+        Just(Protocol::Os),
+        Just(Protocol::PsOo),
+        Just(Protocol::PsOa),
+        Just(Protocol::PsAa),
+        Just(Protocol::PsWt),
+    ]
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (txn_id(), oid()).prop_map(|(txn, oid)| Request::Read { txn, oid }),
+        (txn_id(), oid(), any::<bool>()).prop_map(|(txn, oid, need_copy)| Request::Write {
+            txn,
+            oid,
+            need_copy
+        }),
+        txn_id().prop_map(|txn| Request::Commit {
+            txn,
+            writes: vec![]
+        }),
+        txn_id().prop_map(|txn| Request::Abort { txn }),
+    ]
+}
+
+fn server_msg() -> impl Strategy<Value = ServerMsg> {
+    prop_oneof![
+        (txn_id(), oid()).prop_map(|(txn, oid)| ServerMsg::ReadGranted {
+            txn,
+            oid,
+            data: fgs_core::DataGrant::Object { oid }
+        }),
+        txn_id().prop_map(|txn| ServerMsg::CommitDone { txn }),
+        txn_id().prop_map(|txn| ServerMsg::AbortDone { txn }),
+    ]
+}
+
+fn payload() -> impl Strategy<Value = Option<Arc<Vec<u8>>>> {
+    prop::option::of(prop::collection::vec(any::<u8>(), 0..128).prop_map(Arc::new))
+}
+
+fn frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u16>(), any::<u16>(), prop::option::of(any::<u16>())).prop_map(
+            |(min_version, max_version, client)| Frame::Hello {
+                min_version,
+                max_version,
+                client
+            }
+        ),
+        (
+            any::<u16>(),
+            any::<u16>(),
+            protocol(),
+            any::<u16>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(version, client, protocol, objects_per_page, page_size, client_cache_pages)| {
+                    Frame::Welcome {
+                        version,
+                        client,
+                        protocol,
+                        objects_per_page,
+                        page_size,
+                        client_cache_pages,
+                    }
+                }
+            ),
+        prop::collection::vec(any::<u8>(), 0..40)
+            .prop_map(|b| String::from_utf8_lossy(&b).into_owned())
+            .prop_map(|reason| Frame::Reject { reason }),
+        (
+            any::<u16>(),
+            request(),
+            prop::collection::vec((oid(), prop::collection::vec(any::<u8>(), 0..64)), 0..4)
+        )
+            .prop_map(|(from, req, commit_data)| Frame::Request {
+                from: ClientId(from),
+                req,
+                commit_data
+            }),
+        (server_msg(), payload(), payload()).prop_map(|(msg, page_image, object_bytes)| {
+            Frame::Server {
+                msg,
+                page_image,
+                object_bytes,
+            }
+        }),
+        Just(Frame::Bye),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn frames_round_trip(f in frame()) {
+        let bytes = encode_frame(&f);
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        prop_assert_eq!(len as usize, bytes.len() - 4);
+        prop_assert!(len <= MAX_FRAME);
+        prop_assert_eq!(&decode_frame(&bytes[4..]).unwrap(), &f);
+        // And through the blocking stream API.
+        prop_assert_eq!(&read_frame(&mut Cursor::new(&bytes)).unwrap(), &f);
+    }
+
+    /// Cutting the encoded frame anywhere — inside the prefix or inside
+    /// the body — yields an error from the stream reader, never a wrong
+    /// frame or a panic.
+    #[test]
+    fn truncated_streams_are_rejected(f in frame(), idx in any::<prop::sample::Index>()) {
+        let bytes = encode_frame(&f);
+        let cut = idx.index(bytes.len());
+        prop_assert!(read_frame(&mut Cursor::new(&bytes[..cut])).is_err());
+    }
+
+    /// Strict body prefixes fail the strict decoder (determinism: if a
+    /// prefix decoded, the full body would have had trailing bytes).
+    #[test]
+    fn truncated_bodies_are_rejected(f in frame(), idx in any::<prop::sample::Index>()) {
+        let body = &encode_frame(&f)[4..];
+        let cut = idx.index(body.len());
+        prop_assert!(decode_frame(&body[..cut]).is_err());
+    }
+
+    #[test]
+    fn arbitrary_bodies_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_frame(&bytes);
+    }
+
+    /// Arbitrary streams never panic the reader, and a hostile length
+    /// prefix is rejected before it can drive a huge allocation.
+    #[test]
+    fn arbitrary_streams_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = read_frame(&mut Cursor::new(&bytes));
+    }
+}

@@ -23,6 +23,9 @@ fn config(protocol: Protocol) -> EngineConfig {
         server_workers: 4,
         group_commit_batch: 8,
         paranoid: true,
+        // Transport comes from `FGS_TRANSPORT` (the CI loopback-TCP lane
+        // runs this whole suite over sockets).
+        ..EngineConfig::default()
     }
 }
 

@@ -29,7 +29,7 @@ mod disk;
 mod page;
 mod recovery;
 mod store;
-pub mod sync;
+pub use fgs_core::sync;
 mod wal;
 
 pub use bufferpool::BufferPool;

@@ -1,7 +1,8 @@
 //! Hermetic stand-in for `proptest`. The build environment has no access
 //! to crates.io, so the workspace vendors the strategy/`proptest!` subset
 //! its property tests use: range and tuple strategies, `prop_map`,
-//! `prop_oneof!`, `prop::collection::vec`, `prop::bool::weighted`,
+//! `prop_oneof!` (heterogeneous, via boxing), `prop::collection::vec`,
+//! `prop::bool::weighted`, `prop::option::of`, `prop::sample::Index`,
 //! `any::<T>()` and the `proptest!`/`prop_assert*` macros.
 //!
 //! Differences from the real crate: inputs are generated from a seed
@@ -131,7 +132,24 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     }
 }
 
-/// Uniform choice among same-typed strategies; built by [`prop_oneof!`].
+/// A type-erased strategy, so [`prop_oneof!`] can mix differently-typed
+/// strategies that produce the same value type.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy; backs the [`prop_oneof!`] macro.
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+/// Uniform choice among strategies of one value type; built by
+/// [`prop_oneof!`].
 pub struct Union<S>(Vec<S>);
 
 /// Backs the [`prop_oneof!`] macro.
@@ -236,6 +254,51 @@ pub mod prop {
         }
     }
 
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        pub struct OptionStrategy<S>(S);
+
+        /// `Some` of the inner strategy three times in four, else `None`.
+        pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+            OptionStrategy(element)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.next_u64() & 3 == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+
+    pub mod sample {
+        use crate::{Arbitrary, TestRng};
+
+        /// A collection index that is valid for any non-empty length:
+        /// `index(len)` maps the drawn value uniformly into `0..len`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// This index reduced modulo `len`; `len` must be non-zero.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on an empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.next_u64())
+            }
+        }
+    }
+
     pub mod bool {
         use crate::{Strategy, TestRng};
 
@@ -314,12 +377,13 @@ macro_rules! __proptest_bind {
     };
 }
 
-/// Uniform choice among listed strategies (all of one type here, unlike
-/// real proptest's heterogeneous unions).
+/// Uniform choice among the listed strategies. Each option is boxed, so —
+/// like real proptest — differently-typed strategies may be mixed as long
+/// as they generate the same value type.
 #[macro_export]
 macro_rules! prop_oneof {
     ($($option:expr),+ $(,)?) => {
-        $crate::union(vec![$($option),+])
+        $crate::union(vec![$($crate::boxed($option)),+])
     };
 }
 
@@ -357,12 +421,18 @@ mod tests {
             pair in (0u32..4, any::<bool>()),
             v in prop::collection::vec(0usize..5, 1..7),
             choice in prop_oneof![Just(1u8), Just(2u8)],
+            mixed in prop_oneof![Just(0u32), 1u32..5, any::<bool>().prop_map(u32::from)],
+            maybe in prop::option::of(0u8..3),
+            idx in any::<prop::sample::Index>(),
         ) {
             prop_assert!((3..9).contains(&n));
             prop_assert!((0.25..=0.75).contains(&f));
             prop_assert!(pair.0 < 4);
             prop_assert!(!v.is_empty() && v.len() < 7 && v.iter().all(|&x| x < 5));
             prop_assert!(choice == 1 || choice == 2, "bad choice {}", choice);
+            prop_assert!(mixed <= 4, "bad mixed {}", mixed);
+            prop_assert!(maybe.unwrap_or(0) < 3);
+            prop_assert!(idx.index(10) < 10);
         }
     }
 }
