@@ -59,6 +59,8 @@ fn config(protocol: Protocol, transport: TransportKind, clients: u16) -> EngineC
         group_commit_batch: 8,
         paranoid: false,
         transport,
+        txn_epoch: 0,
+        chaos: None,
     }
 }
 

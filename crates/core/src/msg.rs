@@ -262,6 +262,28 @@ pub enum AbortReason {
 }
 
 impl ServerMsg {
+    /// The transaction this message is addressed to, if it is
+    /// transaction-addressed. [`ServerMsg::Callback`] is addressed to the
+    /// *client* (it concerns cached copies, not a transaction) and
+    /// returns `None`.
+    ///
+    /// Client runtimes use this to discard stale messages: a reply meant
+    /// for a previous incarnation of the same client id (whose connection
+    /// died mid-transaction) can race a reconnect and arrive on the new
+    /// connection. Transaction ids are never reused across connections,
+    /// so comparing against the active transaction filters exactly.
+    pub fn txn_addressee(&self) -> Option<TxnId> {
+        match self {
+            ServerMsg::ReadGranted { txn, .. }
+            | ServerMsg::WriteGranted { txn, .. }
+            | ServerMsg::Deescalate { txn, .. }
+            | ServerMsg::Aborted { txn, .. }
+            | ServerMsg::CommitDone { txn }
+            | ServerMsg::AbortDone { txn } => Some(*txn),
+            ServerMsg::Callback { .. } => None,
+        }
+    }
+
     /// Whether delivering this message requires attaching stored data
     /// (a page image or object bytes) before it reaches the client. A
     /// staged server runtime uses this to route only data-bearing grants

@@ -172,6 +172,88 @@ impl ServerEngine {
         }
     }
 
+    /// Removes a disconnected client from the protocol state: deregisters
+    /// every copy it holds, ends its live transactions, and completes any
+    /// callback operations still waiting on a reply from it (the purge
+    /// stands in for the reply the client can no longer send). No message
+    /// is addressed to the gone client — it is unreachable — but grants
+    /// and aborts for *other* clients unblocked by the cleanup are
+    /// returned as usual. Idempotent; a disconnect for an unknown client
+    /// is a no-op outcome.
+    pub fn client_gone(&mut self, client: ClientId) -> Outcome {
+        debug_assert!(self.out.is_empty() && self.cost == Cost::default());
+        self.stats.disconnects += 1;
+        // 1. Purge the copy tables first: transactions granted while the
+        //    teardown below pumps pages must never open callbacks to (or
+        //    count copies at) the gone client.
+        for st in self.pages.values_mut() {
+            st.copies.remove(&client);
+            for set in st.obj_copies.values_mut() {
+                set.remove(&client);
+            }
+            st.obj_copies.retain(|_, s| !s.is_empty());
+            if st.token == Some(client) {
+                st.token = None;
+            }
+            st.epochs.remove(&client);
+        }
+        // 2. End every transaction the client owns; each release pumps the
+        //    touched pages, granting queued requests of the survivors.
+        let mine: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, t)| t.client == client)
+            .map(|(&txn, _)| txn)
+            .collect();
+        for txn in mine {
+            self.end_txn(txn);
+        }
+        // 3. Callback operations still outstanding at the gone client
+        //    complete as if it had replied "purged" (step 1 already
+        //    dropped its copies). Ops *requested by* the gone client were
+        //    removed with its transactions in step 2, so every op left
+        //    here belongs to a live requester.
+        let waiting: Vec<CallbackId> = self
+            .ops
+            .iter()
+            .filter(|(_, op)| op.outstanding.contains(&client))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in waiting {
+            let Some(op) = self.ops.get_mut(&id) else {
+                continue;
+            };
+            op.outstanding.remove(&client);
+            if op.outstanding.is_empty() {
+                let op = self.ops.remove(&id).expect("just seen");
+                if let Some(st) = self.pages.get_mut(&op.oid.page) {
+                    st.provisional.retain(|p| p.callback != id);
+                }
+                if let Some(t) = self.txns.get_mut(&op.txn) {
+                    t.pending_op = None;
+                }
+                self.wfg.clear_edges(op.txn);
+                self.finish_grant(op.requester, op.txn, op.oid, op.need_copy, op.any_kept);
+                self.pump(op.oid.page);
+            }
+        }
+        // 4. Pages that lost their last reference only through the purge.
+        let pages: Vec<PageId> = self.pages.keys().copied().collect();
+        for page in pages {
+            self.gc_page(page);
+        }
+        // Nothing can be delivered to the gone client; suppress the abort
+        // notifications end_txn queued for it (and anything else addressed
+        // there) so embeddings need no port-liveness filtering.
+        self.out.retain(|a| match a {
+            ServerAction::Send { to, .. } => *to != client,
+        });
+        Outcome {
+            actions: std::mem::take(&mut self.out),
+            cost: std::mem::take(&mut self.cost),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Access requests (reads and write-lock requests)
     // ------------------------------------------------------------------

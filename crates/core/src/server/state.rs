@@ -209,6 +209,9 @@ pub struct ServerStats {
     /// Transactions aborted by the embedding server runtime (storage
     /// failures), as opposed to deadlock victims.
     pub server_aborts: u64,
+    /// Client disconnects processed (each purges the client's copies and
+    /// aborts its live transactions).
+    pub disconnects: u64,
 }
 
 pub use crate::cost::Cost;

@@ -115,6 +115,20 @@ impl World {
         }
     }
 
+    /// Tears the server-side state of client `c` down as if its
+    /// connection dropped, then delivers any unblocked grants.
+    pub fn disconnect(&mut self, c: u16) {
+        let out = self.server.client_gone(ClientId(c));
+        for a in out.actions {
+            let ServerAction::Send { to, msg } = a;
+            assert_ne!(to, ClientId(c), "message addressed to a gone client");
+            self.msgs_to_clients += 1;
+            self.net.push_back(Envelope::ToClient(to, msg));
+        }
+        self.server.check_invariants();
+        self.run();
+    }
+
     pub fn take_events(&mut self, c: u16) -> Vec<Event> {
         std::mem::take(&mut self.events[c as usize])
     }

@@ -759,3 +759,68 @@ fn server_abort_wakes_blocked_waiter() {
     );
     server.check_invariants();
 }
+
+// ---------------------------------------------------------------------
+// Disconnect cleanup (the chaos harness kills connections mid-protocol)
+// ---------------------------------------------------------------------
+
+/// A disconnected client's cached copy stops blocking writers: the
+/// callback it can no longer answer completes as an implicit purge.
+#[test]
+fn disconnect_completes_outstanding_callbacks() {
+    for protocol in Protocol::ALL {
+        let mut w = World::new(protocol, 2, 16);
+        // Client 0 reads under an open transaction: its reply to the
+        // upcoming callback is Busy, so the op stays outstanding.
+        w.begin(0);
+        w.access(0, oid(1, 0), false);
+        assert_eq!(w.ready_count(0), 1, "{protocol:?}");
+        w.begin(1);
+        w.access(1, oid(1, 0), true);
+        assert_eq!(w.ready_count(1), 0, "{protocol:?}: writer must wait");
+
+        w.disconnect(0);
+        assert_eq!(
+            w.ready_count(1),
+            1,
+            "{protocol:?}: disconnect must unblock the writer"
+        );
+        w.commit(1);
+        assert_eq!(w.ended(1), Some(TxnOutcome::Committed), "{protocol:?}");
+        assert_eq!(w.server.live_txns(), 0, "{protocol:?}");
+        assert_eq!(w.server.callbacks_in_flight(), 0, "{protocol:?}");
+        assert!(
+            !w.server.page_copies(PageId(1)).contains(&ClientId(0))
+                && !w.server.object_copies(oid(1, 0)).contains(&ClientId(0)),
+            "{protocol:?}: gone client still registered as a copy holder"
+        );
+        assert_eq!(w.server.stats().disconnects, 1);
+    }
+}
+
+/// A disconnected client's write locks are released and a blocked
+/// reader of the same object proceeds.
+#[test]
+fn disconnect_releases_locks_and_wakes_waiters() {
+    for protocol in Protocol::ALL {
+        let mut w = World::new(protocol, 2, 16);
+        w.begin(0);
+        w.access(0, oid(2, 1), true);
+        assert_eq!(w.ready_count(0), 1, "{protocol:?}");
+        w.begin(1);
+        w.access(1, oid(2, 1), false);
+        assert_eq!(w.ready_count(1), 0, "{protocol:?}: reader must block");
+
+        w.disconnect(0);
+        assert_eq!(
+            w.ready_count(1),
+            1,
+            "{protocol:?}: lock must be released on disconnect"
+        );
+        w.commit(1);
+        assert_eq!(w.ended(1), Some(TxnOutcome::Committed), "{protocol:?}");
+        // Idempotent: a second disconnect of the same client is a no-op.
+        w.disconnect(0);
+        w.server.check_invariants();
+    }
+}

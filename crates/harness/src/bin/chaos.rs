@@ -1,0 +1,147 @@
+//! Seed-sweep driver for the chaos harness.
+//!
+//! ```text
+//! fgs-chaos [--seeds N] [--start S] [--mode both|tcp|channel] [--txns T]
+//! ```
+//!
+//! Runs `N` seeded chaos runs per transport mode starting at seed `S`.
+//! Every failure prints the seed and mode needed to reproduce it
+//! (`fgs-chaos --seeds 1 --start <seed> --mode <mode>`); the process
+//! exits nonzero if any run fails.
+
+use fgs_harness::run::{run_seed_with, Mode};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    modes: Vec<Mode>,
+    txns: usize,
+    jobs: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 100,
+        start: 0,
+        modes: vec![Mode::Channel, Mode::Tcp],
+        txns: 30,
+        jobs: std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(2),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seeds" => {
+                args.seeds = val("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--start" => {
+                args.start = val("--start")?
+                    .parse()
+                    .map_err(|e| format!("--start: {e}"))?;
+            }
+            "--txns" => {
+                args.txns = val("--txns")?.parse().map_err(|e| format!("--txns: {e}"))?;
+            }
+            "--jobs" => {
+                args.jobs = val("--jobs")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))?
+                    .max(1);
+            }
+            "--mode" => {
+                args.modes = match val("--mode")?.as_str() {
+                    "both" => vec![Mode::Channel, Mode::Tcp],
+                    "tcp" => vec![Mode::Tcp],
+                    "channel" => vec![Mode::Channel],
+                    other => return Err(format!("unknown mode {other:?}")),
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: fgs-chaos [--seeds N] [--start S] \
+                     [--mode both|tcp|channel] [--txns T] [--jobs J]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fgs-chaos: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let work: Vec<(u64, Mode)> = (args.start..args.start + args.seeds)
+        .flat_map(|s| args.modes.iter().map(move |&m| (s, m)))
+        .collect();
+    let total = work.len();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    println!(
+        "fgs-chaos: {} runs (seeds {}..{}, {} mode(s), {} txns/client, {} jobs)",
+        total,
+        args.start,
+        args.start + args.seeds,
+        args.modes.len(),
+        args.txns,
+        args.jobs
+    );
+
+    std::thread::scope(|scope| {
+        for _ in 0..args.jobs.min(total.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= total {
+                    return;
+                }
+                let (seed, mode) = work[i];
+                if let Err(e) = run_seed_with(seed, mode, args.txns) {
+                    let mode_flag = match mode {
+                        Mode::Channel => "channel",
+                        Mode::Tcp => "tcp",
+                    };
+                    let msg = format!(
+                        "FAIL seed={seed} mode={mode_flag}: {e}\n  \
+                         reproduce: fgs-chaos --seeds 1 --start {seed} \
+                         --mode {mode_flag} --txns {}",
+                        args.txns
+                    );
+                    eprintln!("{msg}");
+                    failures.lock().expect("failures lock").push(msg);
+                }
+                let d = done.fetch_add(1, Ordering::SeqCst) + 1;
+                if d % 50 == 0 || d == total {
+                    println!("  {d}/{total} runs complete");
+                    let _ = std::io::stdout().flush();
+                }
+            });
+        }
+    });
+
+    let failures = failures.into_inner().expect("failures lock");
+    if failures.is_empty() {
+        println!("fgs-chaos: all {total} runs clean");
+    } else {
+        eprintln!("fgs-chaos: {} of {} runs FAILED:", failures.len(), total);
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,143 @@
+//! The history a chaos run records: every transaction each client
+//! attempted, what it observed, what it wrote, and how it ended.
+//!
+//! Every value the workload writes is a 16-byte **stamp** — a magic tag,
+//! the writing client, and that client's monotone write counter — so any
+//! bytes read back identify exactly one write in the history (or the
+//! zero-filled initial state). The oracle reconstructs per-object version
+//! chains from these observations alone; it never needs to trust clocks
+//! or cross-thread ordering, which is what makes it sound under the
+//! harness's residual thread-scheduling nondeterminism.
+
+use fgs_core::Oid;
+
+/// Byte length of a stamp (and of every object in a chaos run).
+pub const STAMP_LEN: usize = 16;
+
+/// Tag distinguishing a stamped value from the zero-filled initial state
+/// (and from stray corruption, which the oracle reports).
+pub const STAMP_MAGIC: u16 = 0xFA57;
+
+/// Identity of one write: the writing client and its write counter.
+/// Counters are per-client monotone and never reused — across
+/// transactions, reconnects, and the crash/recovery boundary — so a
+/// stamp names a unique write in the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Stamp {
+    /// The writing client's id.
+    pub client: u16,
+    /// The client's write counter at the time of the write.
+    pub counter: u64,
+}
+
+/// A version of an object: the initial zero-filled state, or a stamp.
+pub type Version = Option<Stamp>;
+
+/// Encodes a stamp as the `STAMP_LEN`-byte value the workload writes.
+pub fn encode_stamp(stamp: Stamp) -> Vec<u8> {
+    let mut v = vec![0u8; STAMP_LEN];
+    v[0..2].copy_from_slice(&STAMP_MAGIC.to_le_bytes());
+    v[2..4].copy_from_slice(&stamp.client.to_le_bytes());
+    v[4..12].copy_from_slice(&stamp.counter.to_le_bytes());
+    v
+}
+
+/// Decodes bytes read from the database into a version.
+///
+/// Errors mean corruption: bytes that are neither the initial state nor
+/// a well-formed stamp can only come from a torn or misdirected write.
+pub fn decode_version(bytes: &[u8]) -> Result<Version, String> {
+    if bytes.len() < STAMP_LEN {
+        return Err(format!("short object: {} bytes", bytes.len()));
+    }
+    let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
+    if magic == 0 {
+        if bytes.iter().all(|&b| b == 0) {
+            return Ok(None);
+        }
+        return Err(format!("zero magic with nonzero payload: {bytes:?}"));
+    }
+    if magic != STAMP_MAGIC {
+        return Err(format!("bad stamp magic {magic:#06x}: {bytes:?}"));
+    }
+    Ok(Some(Stamp {
+        client: u16::from_le_bytes([bytes[2], bytes[3]]),
+        counter: u64::from_le_bytes(bytes[4..12].try_into().expect("stamp len")),
+    }))
+}
+
+/// How a transaction ended, from its client's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The commit was acknowledged.
+    Committed,
+    /// The transaction never reached a commit attempt (an operation
+    /// failed, or the client aborted it). Its writes cannot exist
+    /// anywhere: commit data only ships with the commit request.
+    Aborted,
+    /// A commit was *attempted* but the connection died before the
+    /// answer: the server may or may not have committed it. The oracle
+    /// resolves these by observation.
+    InDoubt,
+}
+
+/// One read-modify-write step inside a transaction: the version observed
+/// by the read, and the stamp written back over it (if this step wrote).
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// The object touched.
+    pub oid: Oid,
+    /// What the read observed.
+    pub observed: Version,
+    /// The stamp written over it, if the step wrote.
+    pub wrote: Option<Stamp>,
+}
+
+/// One attempted transaction.
+#[derive(Debug, Clone)]
+pub struct TxnRecord {
+    /// The issuing client.
+    pub client: u16,
+    /// The read-modify-write steps, in program order.
+    pub ops: Vec<OpRecord>,
+    /// How it ended.
+    pub outcome: Outcome,
+    /// True when the commit was acknowledged before the crash line was
+    /// drawn (see `run`): such a commit's log force is provably inside
+    /// the captured crash image, so recovery must preserve it. Commits
+    /// acknowledged after the line are *ghosts* — the harness makes no
+    /// durability claim either way.
+    pub pre_crash: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_round_trip() {
+        let s = Stamp {
+            client: 3,
+            counter: 0x0123_4567_89AB_CDEF,
+        };
+        assert_eq!(decode_version(&encode_stamp(s)), Ok(Some(s)));
+        assert_eq!(decode_version(&[0u8; STAMP_LEN]), Ok(None));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        assert!(decode_version(&[0u8; 4]).is_err(), "short");
+        let mut zero_tail = vec![0u8; STAMP_LEN];
+        zero_tail[7] = 9;
+        assert!(
+            decode_version(&zero_tail).is_err(),
+            "zero magic, dirty tail"
+        );
+        let mut bad_magic = encode_stamp(Stamp {
+            client: 0,
+            counter: 1,
+        });
+        bad_magic[1] ^= 0xFF;
+        assert!(decode_version(&bad_magic).is_err(), "bad magic");
+    }
+}

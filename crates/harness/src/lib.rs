@@ -1,0 +1,38 @@
+//! Deterministic fault-injection harness with a serializability oracle.
+//!
+//! This crate drives the *real* `fgs-oodb` engine — not the simulator —
+//! through seeded chaos: message faults on the transport (delay, drop,
+//! duplicate, reorder, reset), storage faults on the disk (transient IO
+//! errors), and a mid-run crash with a torn log tail. Everything injected
+//! is derived from one `u64` seed, so a failure report is reproducible
+//! from the seed and transport mode alone.
+//!
+//! The three layers:
+//!
+//! - [`history`] — the stamped-value vocabulary: every write is a unique
+//!   `(client, counter)` stamp, so any byte string read back names
+//!   exactly one write (or the initial state, or corruption).
+//! - [`oracle`] — the checker: reconstructs per-object version chains
+//!   from observations, detects lost updates (forks), dirty reads of
+//!   aborted writes (G1a), and serializability violations (cycles in the
+//!   direct serialization graph); resolves in-doubt commits by
+//!   observation; and after a crash checks that every commit
+//!   acknowledged before the crash line survived recovery.
+//! - [`run`] — the driver: derives a full fault plan from the seed,
+//!   runs a hot-spot read-modify-write workload over the embedded or
+//!   TCP transport, crashes the server, recovers twice (the passes must
+//!   agree), and hands both phases' histories to the oracle.
+//!
+//! The `fgs-chaos` binary sweeps seed ranges; `tests/chaos_smoke.rs`
+//! keeps a small sweep in the regular test suite.
+
+pub mod history;
+pub mod oracle;
+pub mod run;
+
+pub use history::{
+    decode_version, encode_stamp, OpRecord, Outcome, Stamp, TxnRecord, Version, STAMP_LEN,
+    STAMP_MAGIC,
+};
+pub use oracle::{check_history, check_recovery, OracleReport};
+pub use run::{run_seed, run_seed_with, Mode, RunSummary};

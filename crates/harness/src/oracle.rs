@@ -1,0 +1,568 @@
+//! The serializability oracle: decides whether a recorded history could
+//! have been produced by *some* serial execution, and whether recovery
+//! preserved every durable commit.
+//!
+//! The oracle works from observations alone. Because the workload obeys
+//! a read-modify-write discipline (every write is preceded, in the same
+//! transaction, by a read of the same object) and every written value is
+//! a unique [`Stamp`], each object's committed writes form a **version
+//! chain**: a write's parent is the version its preceding read observed.
+//! From the chains the oracle checks:
+//!
+//! 1. **No lost updates** — two committed writes sharing a parent is a
+//!    fork: both read the same version and both "won".
+//! 2. **No aborted or phantom reads (G1a)** — a committed transaction
+//!    may only observe the initial state or a non-aborted write from the
+//!    history; anything else is a dirty read or corruption.
+//! 3. **Serializability** — the direct serialization graph over
+//!    committed transactions (WR, WW, and RW edges derived from the
+//!    chains) must be acyclic.
+//! 4. **Durability** ([`check_recovery`]) — after a crash, each object's
+//!    recovered version must sit on a valid chain, with every
+//!    pre-crash-acknowledged commit among its ancestors.
+//!
+//! **In-doubt resolution.** A transaction whose commit was cut off by a
+//! connection fault may have committed server-side. The oracle resolves
+//! these *by observation*: an in-doubt write that any committed
+//! transaction observed must have committed (promote it); one that
+//! nobody observed is invisible under the RMW discipline — whether the
+//! server committed it or not, no committed state depends on it — so
+//! treating it as aborted is sound for the serializability checks. (Its
+//! possible presence in recovered state is still accepted by
+//! [`check_recovery`].)
+
+use crate::history::{Outcome, Stamp, TxnRecord, Version};
+use fgs_core::Oid;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// What the oracle concluded about a violation-free history.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Transactions committed (acknowledged, plus promoted in-doubt).
+    pub committed: usize,
+    /// Transactions that never committed.
+    pub aborted: usize,
+    /// In-doubt transactions promoted to committed by observation.
+    pub promoted: usize,
+    /// In-doubt transactions nobody observed (treated as aborted).
+    pub invisible: usize,
+    /// The longest version chain across all objects.
+    pub max_chain_depth: usize,
+}
+
+/// The root version of `oid`: what the database held before this
+/// history began (`None` = the zero-filled initial state).
+fn root(initial: &HashMap<Oid, Version>, oid: Oid) -> Version {
+    initial.get(&oid).copied().flatten()
+}
+
+/// Indexes every write in the history. Errors on a reused stamp or a
+/// stamp claiming the wrong client — both harness bugs, not database
+/// bugs, but they would unsound the oracle, so they are hard errors.
+fn index_writes(txns: &[TxnRecord]) -> Result<HashMap<Stamp, (usize, Oid)>, String> {
+    let mut writes = HashMap::new();
+    for (i, t) in txns.iter().enumerate() {
+        for op in &t.ops {
+            if let Some(stamp) = op.wrote {
+                if stamp.client != t.client {
+                    return Err(format!(
+                        "harness bug: txn of client {} wrote stamp {stamp:?}",
+                        t.client
+                    ));
+                }
+                if let Some(prev) = writes.insert(stamp, (i, op.oid)) {
+                    return Err(format!("harness bug: stamp {stamp:?} reused ({prev:?})"));
+                }
+            }
+        }
+    }
+    Ok(writes)
+}
+
+/// Resolves in-doubt transactions by observation: any in-doubt write
+/// observed by a committed transaction is promoted to committed,
+/// transitively.
+fn resolve_statuses(
+    txns: &[TxnRecord],
+    writes: &HashMap<Stamp, (usize, Oid)>,
+) -> (Vec<Outcome>, usize) {
+    let mut status: Vec<Outcome> = txns.iter().map(|t| t.outcome).collect();
+    let mut promoted = 0;
+    loop {
+        let mut changed = false;
+        for i in 0..txns.len() {
+            if status[i] != Outcome::Committed {
+                continue;
+            }
+            for op in &txns[i].ops {
+                if let Some(seen) = op.observed {
+                    if let Some(&(w, _)) = writes.get(&seen) {
+                        if status[w] == Outcome::InDoubt {
+                            status[w] = Outcome::Committed;
+                            promoted += 1;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (status, promoted)
+}
+
+/// Checks a history for lost updates, dirty/phantom reads, and
+/// serialization-graph cycles. `initial` gives the version each object
+/// held when the history began (empty map = fresh, zero-filled
+/// database); pass the recovered state here when checking a post-crash
+/// phase.
+pub fn check_history(
+    txns: &[TxnRecord],
+    initial: &HashMap<Oid, Version>,
+) -> Result<OracleReport, String> {
+    let writes = index_writes(txns)?;
+    let (status, promoted) = resolve_statuses(txns, &writes);
+
+    // G1a and corruption: committed reads must observe the root or a
+    // non-aborted write of the same object from this history.
+    for (i, t) in txns.iter().enumerate() {
+        if status[i] != Outcome::Committed {
+            continue;
+        }
+        for op in &t.ops {
+            let seen = op.observed;
+            if seen == root(initial, op.oid) {
+                continue;
+            }
+            let stamp = match seen {
+                Some(s) => s,
+                // Observed the zero state where a non-zero root was
+                // expected: the root write vanished under us.
+                None => {
+                    return Err(format!(
+                        "committed txn {i} read {:?} as initial, but its root is {:?}",
+                        op.oid,
+                        root(initial, op.oid)
+                    ));
+                }
+            };
+            match writes.get(&stamp) {
+                None => {
+                    return Err(format!(
+                        "committed txn {i} observed unknown stamp {stamp:?} on {:?} (corruption)",
+                        op.oid
+                    ));
+                }
+                Some(&(w, woid)) => {
+                    if woid != op.oid {
+                        return Err(format!(
+                            "stamp {stamp:?} written to {woid:?} observed on {:?} (misdirected)",
+                            op.oid
+                        ));
+                    }
+                    if status[w] == Outcome::Aborted {
+                        return Err(format!(
+                            "G1a: committed txn {i} observed {stamp:?} from aborted txn {w}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Version chains over committed writes: parent = the version the
+    // write's own read observed. A shared parent is a lost update.
+    let mut children: BTreeMap<Oid, HashMap<Version, Vec<Stamp>>> = BTreeMap::new();
+    let mut committed_writes_per_oid: HashMap<Oid, usize> = HashMap::new();
+    for (i, t) in txns.iter().enumerate() {
+        if status[i] != Outcome::Committed {
+            continue;
+        }
+        for op in &t.ops {
+            if let Some(stamp) = op.wrote {
+                children
+                    .entry(op.oid)
+                    .or_default()
+                    .entry(op.observed)
+                    .or_default()
+                    .push(stamp);
+                *committed_writes_per_oid.entry(op.oid).or_default() += 1;
+            }
+        }
+    }
+    let mut max_chain_depth = 0;
+    // (oid, version) -> chain position, for edge construction below.
+    let mut chains: HashMap<Oid, Vec<(Version, Option<usize>)>> = HashMap::new();
+    for (&oid, kids) in &children {
+        for (parent, stamps) in kids {
+            if stamps.len() > 1 {
+                return Err(format!(
+                    "lost update on {oid:?}: {stamps:?} all committed over parent {parent:?}"
+                ));
+            }
+        }
+        // Linearize from the root. Readers of a version are attached
+        // when edges are built.
+        let mut order: Vec<(Version, Option<usize>)> = vec![(root(initial, oid), None)];
+        let mut cur = root(initial, oid);
+        let mut visited = 0;
+        while let Some(next) = kids.get(&cur).map(|v| v[0]) {
+            let &(writer, _) = writes.get(&next).expect("indexed committed write");
+            order.push((Some(next), Some(writer)));
+            cur = Some(next);
+            visited += 1;
+            if visited > txns.len() * 4 {
+                return Err(format!("version chain on {oid:?} does not terminate"));
+            }
+        }
+        if visited != committed_writes_per_oid[&oid] {
+            return Err(format!(
+                "broken chain on {oid:?}: {} committed writes, {visited} reachable from root",
+                committed_writes_per_oid[&oid]
+            ));
+        }
+        max_chain_depth = max_chain_depth.max(visited);
+        chains.insert(oid, order);
+    }
+
+    // The direct serialization graph over committed transactions.
+    let mut readers: HashMap<(Oid, Version), Vec<usize>> = HashMap::new();
+    for (i, t) in txns.iter().enumerate() {
+        if status[i] != Outcome::Committed {
+            continue;
+        }
+        for op in &t.ops {
+            readers.entry((op.oid, op.observed)).or_default().push(i);
+        }
+    }
+    let n = txns.len();
+    let mut adj: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    let add = |adj: &mut Vec<HashSet<usize>>, a: usize, b: usize| {
+        if a != b {
+            adj[a].insert(b);
+        }
+    };
+    for (&oid, order) in &chains {
+        for w in order.windows(2) {
+            let (prev_version, prev_writer) = w[0];
+            let (_, next_writer) = w[1];
+            let next_writer = next_writer.expect("non-root has a writer");
+            // WW: version order is commit order under 2PL.
+            if let Some(pw) = prev_writer {
+                add(&mut adj, pw, next_writer);
+            }
+            // WR: a version's writer precedes everyone who read it.
+            // RW: a version's readers precede its overwriter.
+            if let Some(rs) = readers.get(&(oid, prev_version)) {
+                for &r in rs {
+                    if let Some(pw) = prev_writer {
+                        add(&mut adj, pw, r);
+                    }
+                    add(&mut adj, r, next_writer);
+                }
+            }
+        }
+        // WR edges into readers of the chain tip.
+        if let Some(&(tip, Some(tip_writer))) = order.last() {
+            if let Some(rs) = readers.get(&(oid, tip)) {
+                for &r in rs {
+                    add(&mut adj, tip_writer, r);
+                }
+            }
+        }
+    }
+    if let Some(cycle) = find_cycle(&adj) {
+        return Err(format!(
+            "serialization cycle among committed txns {cycle:?}"
+        ));
+    }
+
+    let mut report = OracleReport {
+        promoted,
+        max_chain_depth,
+        ..OracleReport::default()
+    };
+    for s in &status {
+        match s {
+            Outcome::Committed => report.committed += 1,
+            Outcome::Aborted => report.aborted += 1,
+            Outcome::InDoubt => report.invisible += 1,
+        }
+    }
+    Ok(report)
+}
+
+/// Iterative three-color DFS; returns the transactions on one cycle.
+fn find_cycle(adj: &[HashSet<usize>]) -> Option<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = adj.len();
+    let mut color = vec![Color::White; n];
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        // Stack of (node, child iterator position).
+        let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        color[start] = Color::Gray;
+        let kids: Vec<usize> = adj[start].iter().copied().collect();
+        stack.push((start, kids, 0));
+        while let Some((node, kids, pos)) = stack.last_mut() {
+            if *pos >= kids.len() {
+                color[*node] = Color::Black;
+                stack.pop();
+                continue;
+            }
+            let next = kids[*pos];
+            *pos += 1;
+            match color[next] {
+                Color::Gray => {
+                    // Found a back edge: the cycle is the gray suffix.
+                    let mut cycle: Vec<usize> = stack.iter().map(|(v, _, _)| *v).collect();
+                    if let Some(p) = cycle.iter().position(|&v| v == next) {
+                        cycle.drain(..p);
+                    }
+                    return Some(cycle);
+                }
+                Color::White => {
+                    color[next] = Color::Gray;
+                    let kids: Vec<usize> = adj[next].iter().copied().collect();
+                    stack.push((next, kids, 0));
+                }
+                Color::Black => {}
+            }
+        }
+    }
+    None
+}
+
+/// Checks that recovery preserved durability: for each object, the
+/// recovered version must lie on a chain of non-aborted writes rooted in
+/// the initial state, and every commit acknowledged before the crash
+/// line must be among (or equal to) its ancestors. In-doubt writes may
+/// appear on the path — a commit the server completed just before the
+/// crash is exactly the in-doubt case.
+pub fn check_recovery(
+    txns: &[TxnRecord],
+    initial: &HashMap<Oid, Version>,
+    recovered: &HashMap<Oid, Version>,
+) -> Result<(), String> {
+    let writes = index_writes(txns)?;
+    // Required: stamps from commits acknowledged before the crash line.
+    let mut required: HashMap<Oid, Vec<Stamp>> = HashMap::new();
+    for t in txns {
+        if t.outcome == Outcome::Committed && t.pre_crash {
+            for op in &t.ops {
+                if let Some(stamp) = op.wrote {
+                    required.entry(op.oid).or_default().push(stamp);
+                }
+            }
+        }
+    }
+
+    for (&oid, &tip) in recovered {
+        // Walk ancestors from the recovered tip down to the root.
+        let mut on_path: HashSet<Stamp> = HashSet::new();
+        let mut cur = tip;
+        let oid_root = root(initial, oid);
+        let mut hops = 0;
+        while cur != oid_root {
+            let stamp = match cur {
+                Some(s) => s,
+                None => {
+                    return Err(format!(
+                        "recovered {oid:?} reaches initial but its root is {oid_root:?}"
+                    ));
+                }
+            };
+            let &(w, woid) = writes.get(&stamp).ok_or_else(|| {
+                format!("recovered {oid:?} holds unknown stamp {stamp:?} (corruption)")
+            })?;
+            if woid != oid {
+                return Err(format!(
+                    "recovered {oid:?} holds stamp {stamp:?} written to {woid:?} (misdirected)"
+                ));
+            }
+            if txns[w].outcome == Outcome::Aborted {
+                return Err(format!(
+                    "recovered {oid:?} holds {stamp:?} from a never-committed txn {w}"
+                ));
+            }
+            on_path.insert(stamp);
+            // Parent: what the write's own read observed.
+            cur = txns[w]
+                .ops
+                .iter()
+                .find(|op| op.wrote == Some(stamp))
+                .expect("indexed write exists")
+                .observed;
+            hops += 1;
+            if hops > txns.len() * 4 {
+                return Err(format!("recovered chain on {oid:?} does not terminate"));
+            }
+        }
+        if let Some(need) = required.get(&oid) {
+            for stamp in need {
+                if !on_path.contains(stamp) {
+                    return Err(format!(
+                        "durability lost on {oid:?}: pre-crash commit {stamp:?} is not an \
+                         ancestor of the recovered version {tip:?}"
+                    ));
+                }
+            }
+        }
+    }
+    // Every object with a durable commit must appear in the sweep.
+    for oid in required.keys() {
+        if !recovered.contains_key(oid) {
+            return Err(format!("recovery sweep is missing {oid:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgs_core::PageId;
+
+    fn oid(n: u16) -> Oid {
+        Oid::new(PageId(0), n)
+    }
+
+    fn stamp(client: u16, counter: u64) -> Stamp {
+        Stamp { client, counter }
+    }
+
+    fn txn(client: u16, outcome: Outcome, ops: Vec<(Oid, Version, Option<Stamp>)>) -> TxnRecord {
+        TxnRecord {
+            client,
+            ops: ops
+                .into_iter()
+                .map(|(oid, observed, wrote)| crate::history::OpRecord {
+                    oid,
+                    observed,
+                    wrote,
+                })
+                .collect(),
+            outcome,
+            pre_crash: outcome == Outcome::Committed,
+        }
+    }
+
+    #[test]
+    fn clean_rmw_chain_passes() {
+        let a = stamp(0, 1);
+        let b = stamp(1, 1);
+        let h = vec![
+            txn(0, Outcome::Committed, vec![(oid(1), None, Some(a))]),
+            txn(1, Outcome::Committed, vec![(oid(1), Some(a), Some(b))]),
+        ];
+        let rep = check_history(&h, &HashMap::new()).unwrap();
+        assert_eq!(rep.committed, 2);
+        assert_eq!(rep.max_chain_depth, 2);
+    }
+
+    #[test]
+    fn lost_update_is_a_fork() {
+        let a = stamp(0, 1);
+        let b = stamp(1, 1);
+        let h = vec![
+            txn(0, Outcome::Committed, vec![(oid(1), None, Some(a))]),
+            txn(1, Outcome::Committed, vec![(oid(1), None, Some(b))]),
+        ];
+        let err = check_history(&h, &HashMap::new()).unwrap_err();
+        assert!(err.contains("lost update"), "{err}");
+    }
+
+    #[test]
+    fn reading_an_aborted_write_is_g1a() {
+        let a = stamp(0, 1);
+        let h = vec![
+            txn(0, Outcome::Aborted, vec![(oid(1), None, Some(a))]),
+            txn(1, Outcome::Committed, vec![(oid(1), Some(a), None)]),
+        ];
+        let err = check_history(&h, &HashMap::new()).unwrap_err();
+        assert!(err.contains("G1a"), "{err}");
+    }
+
+    #[test]
+    fn write_skew_is_a_cycle() {
+        // T0 reads y's initial state and writes x; T1 reads x's initial
+        // state and writes y: each must precede the other.
+        let x1 = stamp(0, 1);
+        let y1 = stamp(1, 1);
+        let h = vec![
+            txn(
+                0,
+                Outcome::Committed,
+                vec![(oid(2), None, None), (oid(1), None, Some(x1))],
+            ),
+            txn(
+                1,
+                Outcome::Committed,
+                vec![(oid(1), None, None), (oid(2), None, Some(y1))],
+            ),
+        ];
+        let err = check_history(&h, &HashMap::new()).unwrap_err();
+        assert!(err.contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn observed_in_doubt_commits_are_promoted() {
+        let a = stamp(0, 1);
+        let h = vec![
+            txn(0, Outcome::InDoubt, vec![(oid(1), None, Some(a))]),
+            txn(1, Outcome::Committed, vec![(oid(1), Some(a), None)]),
+        ];
+        let rep = check_history(&h, &HashMap::new()).unwrap();
+        assert_eq!(rep.promoted, 1);
+        assert_eq!(rep.committed, 2);
+    }
+
+    #[test]
+    fn unobserved_in_doubt_commits_are_invisible() {
+        let a = stamp(0, 1);
+        let h = vec![txn(0, Outcome::InDoubt, vec![(oid(1), None, Some(a))])];
+        let rep = check_history(&h, &HashMap::new()).unwrap();
+        assert_eq!(rep.invisible, 1);
+        assert_eq!(rep.committed, 0);
+    }
+
+    #[test]
+    fn recovery_must_keep_acknowledged_commits() {
+        let a = stamp(0, 1);
+        let h = vec![txn(0, Outcome::Committed, vec![(oid(1), None, Some(a))])];
+        // Recovered back to the initial state: the durable commit is gone.
+        let recovered: HashMap<Oid, Version> = [(oid(1), None)].into();
+        let err = check_recovery(&h, &HashMap::new(), &recovered).unwrap_err();
+        assert!(err.contains("durability lost"), "{err}");
+        // Recovered at the commit: fine.
+        let recovered: HashMap<Oid, Version> = [(oid(1), Some(a))].into();
+        check_recovery(&h, &HashMap::new(), &recovered).unwrap();
+    }
+
+    #[test]
+    fn recovery_may_keep_an_unobserved_in_doubt_tip() {
+        let a = stamp(0, 1);
+        let b = stamp(1, 1);
+        let mut h = vec![
+            txn(0, Outcome::Committed, vec![(oid(1), None, Some(a))]),
+            txn(1, Outcome::InDoubt, vec![(oid(1), Some(a), Some(b))]),
+        ];
+        h[1].pre_crash = false;
+        // The in-doubt commit landed: its ancestor (the durable commit)
+        // is on the path, so this is a legal recovered state.
+        let recovered: HashMap<Oid, Version> = [(oid(1), Some(b))].into();
+        check_recovery(&h, &HashMap::new(), &recovered).unwrap();
+        // But recovering *past* the durable commit to initial is not.
+        let recovered: HashMap<Oid, Version> = [(oid(1), None)].into();
+        assert!(check_recovery(&h, &HashMap::new(), &recovered).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Smoke sweep of the chaos harness: a small, fixed seed range over both
+//! transports on every test run. The nightly CI lane (and `fgs-chaos`)
+//! runs the wide sweep; this keeps the harness itself honest in tier-1.
+//!
+//! `FGS_CHAOS_SEEDS` overrides the number of seeds per mode.
+
+use fgs_harness::run::{run_seed, Mode};
+
+fn seeds() -> u64 {
+    if let Ok(v) = std::env::var("FGS_CHAOS_SEEDS") {
+        return v
+            .parse()
+            .unwrap_or_else(|e| panic!("FGS_CHAOS_SEEDS={v:?}: {e}"));
+    }
+    // Debug builds pay ~4-5x per run; keep the default sweep short.
+    if cfg!(debug_assertions) {
+        4
+    } else {
+        12
+    }
+}
+
+fn sweep(mode: Mode) {
+    for seed in 0..seeds() {
+        if let Err(e) = run_seed(seed, mode) {
+            panic!("chaos run failed ({mode:?}): {e}");
+        }
+    }
+}
+
+#[test]
+fn chaos_smoke_channel() {
+    sweep(Mode::Channel);
+}
+
+#[test]
+fn chaos_smoke_tcp() {
+    sweep(Mode::Tcp);
+}

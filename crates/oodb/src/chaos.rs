@@ -1,0 +1,425 @@
+//! Deterministic message-level fault injection for the chaos harness.
+//!
+//! The harness (DESIGN.md §13) drives the real engine through faulty
+//! transports. Every fault is drawn from a PCG stream derived from a
+//! seed, so a failing run's schedule is reproducible from the seed
+//! alone. Two wrappers inject at the two transport traits:
+//!
+//! * [`ChaosSink`] wraps a [`RequestSink`] (client→server): requests can
+//!   be delayed in place, or the connection severed under them.
+//! * [`ChaosPort`] wraps a [`ClientPort`] (server→client): envelopes are
+//!   re-queued through a per-port delivery thread, so one port's delays
+//!   (the paper-level "grant delay") never stall other clients, and the
+//!   per-client FIFO the protocol requires is preserved.
+//!
+//! FGSP runs over TCP, a reliable FIFO stream: a *frame* cannot be
+//! dropped, duplicated, or reordered while the connection lives. Those
+//! packet-level faults surface above the stream as exactly two
+//! observables — added latency, or connection death (TCP gives up). The
+//! schedule therefore keeps distinct `Drop`/`Duplicate`/`Reorder`/`Reset`
+//! events (they are logged and counted apart, and `Duplicate` delivers
+//! the frame before the failure, where `Drop` swallows it), but each
+//! resolves to severing the connection — which is the fault the protocol
+//! must actually survive: a callback or grant that never arrives, a
+//! client that vanishes mid-transaction. Recovery from a severed
+//! connection is the reconnect path ([`RemoteClient::connect_retry`]
+//! client-side, [`ServerEngine::client_gone`] server-side).
+//!
+//! [`RemoteClient::connect_retry`]: crate::RemoteClient::connect_retry
+//! [`ServerEngine::client_gone`]: fgs_core::server::ServerEngine::client_gone
+
+use crate::error::TxnError;
+use crate::transport::{ClientPort, RequestSink};
+use crate::wire::ToClient;
+use fgs_core::sync::Mutex;
+use fgs_core::{ClientId, Oid, Request};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A seeded plan of message-level faults. Rates are per ten thousand
+/// messages; `max_events` bounds the total injected so every run
+/// terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed of the schedule; each wrapped endpoint derives its own PCG
+    /// stream from it, so schedules are per-connection deterministic.
+    pub seed: u64,
+    /// Chance (per 10 000) of holding a message for up to
+    /// [`max_delay_us`](ChaosConfig::max_delay_us).
+    pub delay_per_10k: u32,
+    /// Upper bound on one injected delay, in microseconds.
+    pub max_delay_us: u64,
+    /// Chance (per 10 000) of dropping a message (the frame vanishes and
+    /// the connection is severed — see the module docs).
+    pub drop_per_10k: u32,
+    /// Chance (per 10 000) of a duplicate storm (the frame is delivered,
+    /// then the connection is severed).
+    pub dup_per_10k: u32,
+    /// Chance (per 10 000) of a reorder storm (severs the connection
+    /// before delivery).
+    pub reorder_per_10k: u32,
+    /// Chance (per 10 000) of a plain connection reset.
+    pub reset_per_10k: u32,
+    /// Upper bound on injected events per endpoint.
+    pub max_events: u32,
+}
+
+impl ChaosConfig {
+    /// A plan that injects nothing.
+    pub fn none() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0,
+            delay_per_10k: 0,
+            max_delay_us: 0,
+            drop_per_10k: 0,
+            dup_per_10k: 0,
+            reorder_per_10k: 0,
+            reset_per_10k: 0,
+            max_events: 0,
+        }
+    }
+}
+
+/// PCG-XSH-RR 32 (O'Neill): tiny, fast, and every `(seed, stream)` pair
+/// is an independent deterministic sequence — one stream per wrapped
+/// endpoint.
+#[derive(Debug, Clone)]
+pub(crate) struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg32 {
+    pub(crate) fn new(seed: u64, stream: u64) -> Pcg32 {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    pub(crate) fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+}
+
+/// What the schedule says to do with one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChaosEvent {
+    Deliver,
+    Delay(u64),
+    Drop,
+    Duplicate,
+    Reorder,
+    Reset,
+}
+
+#[derive(Debug)]
+struct ChaosState {
+    rng: Pcg32,
+    cfg: ChaosConfig,
+    injected: u32,
+}
+
+impl ChaosState {
+    fn new(cfg: ChaosConfig, stream: u64) -> ChaosState {
+        ChaosState {
+            rng: Pcg32::new(cfg.seed, stream),
+            cfg,
+            injected: 0,
+        }
+    }
+
+    fn draw(&mut self) -> ChaosEvent {
+        if self.injected >= self.cfg.max_events {
+            return ChaosEvent::Deliver;
+        }
+        let roll = self.rng.next_u32() % 10_000;
+        let c = self.cfg;
+        let mut edge = c.delay_per_10k;
+        if roll < edge {
+            self.injected += 1;
+            let span = c.max_delay_us.max(1);
+            return ChaosEvent::Delay(1 + u64::from(self.rng.next_u32()) % span);
+        }
+        for (rate, event) in [
+            (c.drop_per_10k, ChaosEvent::Drop),
+            (c.dup_per_10k, ChaosEvent::Duplicate),
+            (c.reorder_per_10k, ChaosEvent::Reorder),
+            (c.reset_per_10k, ChaosEvent::Reset),
+        ] {
+            edge += rate;
+            if roll < edge {
+                self.injected += 1;
+                return event;
+            }
+        }
+        ChaosEvent::Deliver
+    }
+}
+
+// ----------------------------------------------------------------------
+// Client→server: the request sink wrapper
+// ----------------------------------------------------------------------
+
+/// A fault-injecting [`RequestSink`]. Called from the single client
+/// runtime thread, so an in-place delay preserves request FIFO. `sever`
+/// kills the underlying connection *abruptly* (no `Bye`), as a network
+/// fault would.
+pub(crate) struct ChaosSink {
+    inner: Box<dyn RequestSink>,
+    state: Mutex<ChaosState>,
+    sever: Box<dyn Fn() + Send + Sync>,
+}
+
+impl ChaosSink {
+    pub(crate) fn new(
+        inner: Box<dyn RequestSink>,
+        cfg: ChaosConfig,
+        stream: u64,
+        sever: Box<dyn Fn() + Send + Sync>,
+    ) -> ChaosSink {
+        ChaosSink {
+            inner,
+            state: Mutex::new(ChaosState::new(cfg, stream)),
+            sever,
+        }
+    }
+}
+
+impl RequestSink for ChaosSink {
+    fn send_request(
+        &self,
+        from: ClientId,
+        req: Request,
+        commit_data: Vec<(Oid, Vec<u8>)>,
+    ) -> Result<(), TxnError> {
+        let event = self.state.lock().draw();
+        match event {
+            ChaosEvent::Deliver => self.inner.send_request(from, req, commit_data),
+            ChaosEvent::Delay(us) => {
+                std::thread::sleep(Duration::from_micros(us));
+                self.inner.send_request(from, req, commit_data)
+            }
+            ChaosEvent::Duplicate => {
+                let _ = self.inner.send_request(from, req, commit_data);
+                (self.sever)();
+                Err(TxnError::Server)
+            }
+            ChaosEvent::Drop | ChaosEvent::Reorder | ChaosEvent::Reset => {
+                (self.sever)();
+                Err(TxnError::Server)
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.inner.close();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Server→client: the port wrapper
+// ----------------------------------------------------------------------
+
+enum PortCmd {
+    Deliver(ToClient),
+    Close,
+}
+
+/// A fault-injecting [`ClientPort`]. Envelopes are handed to a dedicated
+/// delivery thread (one per port), so injected delays stall only this
+/// client while the send stage keeps running; the thread delivers in
+/// arrival order, preserving the engine-order FIFO.
+pub(crate) struct ChaosPort {
+    tx: crossbeam::channel::Sender<PortCmd>,
+}
+
+impl ChaosPort {
+    /// Wraps `inner`. `on_sever` runs (once) when the schedule kills the
+    /// connection, *after* `inner.close()` — transports that do not
+    /// notice peer death on their own (the in-process channel) use it to
+    /// tell the server the client is gone.
+    pub(crate) fn new(
+        inner: Arc<dyn ClientPort>,
+        cfg: ChaosConfig,
+        stream: u64,
+        on_sever: Box<dyn Fn() + Send>,
+    ) -> ChaosPort {
+        let (tx, rx) = crossbeam::channel::unbounded::<PortCmd>();
+        let mut state = ChaosState::new(cfg, stream);
+        std::thread::Builder::new()
+            .name("fgs-chaos-port".into())
+            .spawn(move || {
+                let mut severed = false;
+                for cmd in rx.iter() {
+                    let env = match cmd {
+                        PortCmd::Close => break,
+                        PortCmd::Deliver(env) => env,
+                    };
+                    if severed {
+                        continue; // the connection is gone; drain quietly
+                    }
+                    match state.draw() {
+                        ChaosEvent::Deliver => {
+                            let _ = inner.deliver(env);
+                        }
+                        ChaosEvent::Delay(us) => {
+                            std::thread::sleep(Duration::from_micros(us));
+                            let _ = inner.deliver(env);
+                        }
+                        ChaosEvent::Duplicate => {
+                            let _ = inner.deliver(env);
+                            severed = true;
+                        }
+                        ChaosEvent::Drop | ChaosEvent::Reorder | ChaosEvent::Reset => {
+                            severed = true;
+                        }
+                    }
+                    if severed {
+                        inner.close();
+                        on_sever();
+                    }
+                }
+                inner.close();
+            })
+            .expect("spawn chaos port");
+        ChaosPort { tx }
+    }
+}
+
+impl ClientPort for ChaosPort {
+    fn deliver(&self, env: ToClient) -> bool {
+        self.tx.send(PortCmd::Deliver(env)).is_ok()
+    }
+
+    fn close(&self) {
+        let _ = self.tx.send(PortCmd::Close);
+    }
+}
+
+impl Drop for ChaosPort {
+    fn drop(&mut self) {
+        let _ = self.tx.send(PortCmd::Close);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pcg_streams_are_deterministic_and_independent() {
+        let a: Vec<u32> = {
+            let mut r = Pcg32::new(42, 1);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = Pcg32::new(42, 1);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        let c: Vec<u32> = {
+            let mut r = Pcg32::new(42, 2);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        assert_eq!(a, b, "same seed+stream, same sequence");
+        assert_ne!(a, c, "different streams diverge");
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_bounded() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            delay_per_10k: 2_000,
+            max_delay_us: 10,
+            drop_per_10k: 1_000,
+            dup_per_10k: 1_000,
+            reorder_per_10k: 1_000,
+            reset_per_10k: 1_000,
+            max_events: 5,
+        };
+        let draw_all = || {
+            let mut s = ChaosState::new(cfg, 3);
+            (0..64).map(|_| s.draw()).collect::<Vec<_>>()
+        };
+        let a = draw_all();
+        assert_eq!(a, draw_all(), "same plan, same schedule");
+        let injected = a.iter().filter(|e| **e != ChaosEvent::Deliver).count();
+        assert_eq!(injected, 5, "max_events bounds the schedule");
+    }
+
+    struct CountingPort {
+        delivered: AtomicUsize,
+        closed: AtomicUsize,
+    }
+
+    impl ClientPort for CountingPort {
+        fn deliver(&self, _env: ToClient) -> bool {
+            self.delivered.fetch_add(1, Ordering::SeqCst);
+            true
+        }
+        fn close(&self) {
+            self.closed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn env() -> ToClient {
+        ToClient {
+            msg: fgs_core::ServerMsg::CommitDone {
+                txn: fgs_core::TxnId::new(ClientId(0), 1),
+            },
+            page_image: None,
+            object_bytes: None,
+        }
+    }
+
+    #[test]
+    fn port_severs_once_then_drains_quietly() {
+        let inner = Arc::new(CountingPort {
+            delivered: AtomicUsize::new(0),
+            closed: AtomicUsize::new(0),
+        });
+        let severed = Arc::new(AtomicUsize::new(0));
+        let cfg = ChaosConfig {
+            seed: 1,
+            reset_per_10k: 10_000, // sever on the very first envelope
+            max_events: 1,
+            ..ChaosConfig::none()
+        };
+        let on_sever = {
+            let severed = severed.clone();
+            Box::new(move || {
+                severed.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        let port = ChaosPort::new(inner.clone(), cfg, 0, on_sever);
+        for _ in 0..4 {
+            assert!(port.deliver(env()));
+        }
+        port.close();
+        // Wait for the delivery thread to drain.
+        for _ in 0..200 {
+            if inner.closed.load(Ordering::SeqCst) >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            inner.delivered.load(Ordering::SeqCst),
+            0,
+            "reset precedes delivery"
+        );
+        assert_eq!(severed.load(Ordering::SeqCst), 1, "on_sever fires once");
+        assert!(inner.closed.load(Ordering::SeqCst) >= 1);
+    }
+}

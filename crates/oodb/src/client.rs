@@ -75,7 +75,7 @@ impl ClientRuntime {
             overlay: HashMap::new(),
             objects: HashMap::new(),
             dirty: HashMap::new(),
-            txn_seq: 0,
+            txn_seq: params.first_txn_seq,
             pending: None,
             killed: None,
             dead: false,
@@ -106,7 +106,31 @@ impl ClientRuntime {
     // ------------------------------------------------------------------
 
     fn handle_app(&mut self, cmd: AppCmd) -> bool {
-        debug_assert!(self.pending.is_none(), "one app call at a time");
+        // One call at a time: a command arriving while another is still
+        // pending means the session abandoned that call (its rpc timed
+        // out). The engine is mid-access and cannot safely take another
+        // operation, so fail the newcomer instead of clobbering state.
+        // `Shutdown` is exempt — it is exactly what a timed-out session
+        // sends to tear the connection down.
+        if self.pending.is_some() && !matches!(cmd, AppCmd::Shutdown) {
+            let e = TxnError::TxnState("a call is already pending on this client");
+            match cmd {
+                AppCmd::Begin { reply }
+                | AppCmd::Write { reply, .. }
+                | AppCmd::Commit { reply }
+                | AppCmd::Abort { reply } => {
+                    let _ = reply.send(Err(e));
+                }
+                AppCmd::Read { reply, .. } => {
+                    let _ = reply.send(Err(e));
+                }
+                AppCmd::Stats { reply } => {
+                    let _ = reply.send(Err(e));
+                }
+                AppCmd::Shutdown => unreachable!(),
+            }
+            return true;
+        }
         match cmd {
             AppCmd::Begin { reply } => {
                 let res = if self.dead {
@@ -195,6 +219,18 @@ impl ClientRuntime {
     // ------------------------------------------------------------------
 
     fn handle_server(&mut self, env: ToClient) {
+        // Discard stale transaction-addressed messages. If a previous
+        // incarnation of this client id died mid-transaction, the
+        // server's reply to it can race our reconnect through the port
+        // map and land here; transaction ids are never reused across
+        // connections (see `ClientParams::first_txn_seq`), so anything
+        // addressed to a transaction we are not running is provably not
+        // ours. Callbacks are client-addressed and always handled.
+        if let Some(txn) = env.msg.txn_addressee() {
+            if self.engine.active_txn() != Some(txn) {
+                return;
+            }
+        }
         // Capture *why* a server-side abort happened before the engine
         // collapses it into a generic `TxnEnded`; `finish_txn` surfaces
         // the matching error to the application.

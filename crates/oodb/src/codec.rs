@@ -96,6 +96,12 @@ pub enum Frame {
         page_size: u32,
         /// Client cache budget in pages.
         client_cache_pages: u32,
+        /// First transaction sequence number this connection may use.
+        /// Unique per accepted connection (and per server incarnation), so
+        /// a client that reconnects after a reset — or a server restarted
+        /// over a recovered disk — never reissues a `TxnId` the write-ahead
+        /// log has already seen.
+        first_txn_seq: u64,
     },
     /// Server→client handshake refusal; the connection closes after it.
     Reject {
@@ -154,6 +160,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             objects_per_page,
             page_size,
             client_cache_pages,
+            first_txn_seq,
         } => {
             out.push(KIND_WELCOME);
             put_varint(&mut out, u64::from(*version));
@@ -162,6 +169,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             put_varint(&mut out, u64::from(*objects_per_page));
             put_varint(&mut out, u64::from(*page_size));
             put_varint(&mut out, u64::from(*client_cache_pages));
+            put_varint(&mut out, *first_txn_seq);
         }
         Frame::Reject { reason } => {
             out.push(KIND_REJECT);
@@ -236,6 +244,7 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, CodecError> {
             objects_per_page: r.var_u16()?,
             page_size: r.var_u32()?,
             client_cache_pages: r.var_u32()?,
+            first_txn_seq: r.varint()?,
         },
         KIND_REJECT => {
             let bytes = r.byte_vec("Reject reason")?;
@@ -349,6 +358,7 @@ mod tests {
             objects_per_page: 8,
             page_size: 4096,
             client_cache_pages: 16,
+            first_txn_seq: 7 << 32,
         });
         round_trip(&Frame::Reject {
             reason: "client id in use".to_string(),

@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use crate::chaos::ChaosConfig;
 use crate::transport::TransportKind;
 use fgs_core::Protocol;
 
@@ -42,6 +43,15 @@ pub struct EngineConfig {
     /// [`TransportKind::from_env`]), which is how the test suites run
     /// unmodified over both backends.
     pub transport: TransportKind,
+    /// Transaction-id epoch, folded into the top bits of every sequence
+    /// number handed to clients. Bump it each time a server is restarted
+    /// over a recovered disk so post-restart transactions can never
+    /// collide with `TxnId`s already in the write-ahead log.
+    pub txn_epoch: u16,
+    /// Seeded message-level fault injection (delays, drops, connection
+    /// resets) on the server→client ports, plus the TCP transport's
+    /// client→server path. `None` (the default) injects nothing.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +69,8 @@ impl Default for EngineConfig {
             group_commit_batch: 8,
             paranoid: false,
             transport: TransportKind::from_env(),
+            txn_epoch: 0,
+            chaos: None,
         }
     }
 }

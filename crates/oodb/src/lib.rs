@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod chaos;
 mod client;
 pub mod codec;
 mod config;
@@ -61,12 +62,14 @@ mod session;
 mod transport;
 mod wire;
 
+pub use chaos::ChaosConfig;
 pub use config::EngineConfig;
 pub use error::TxnError;
-pub use remote::{serve_tcp, RemoteClient, ServerHandle};
+pub use remote::{serve_tcp, serve_tcp_recover, serve_tcp_with_disk, RemoteClient, ServerHandle};
 pub use session::Session;
 pub use transport::TransportKind;
 
+use crate::chaos::ChaosPort;
 use crate::client::ClientRuntime;
 use crate::server::{sender_loop, SeqBatch, ServerRuntime};
 use crate::transport::channel::{ChannelPort, ChannelSink};
@@ -236,8 +239,29 @@ impl Oodb {
         let tcp = match config.transport {
             TransportKind::Channel => {
                 for (i, crx) in client_rxs.into_iter().enumerate() {
-                    let port: Arc<dyn ClientPort> =
+                    let inner: Arc<dyn ClientPort> =
                         Arc::new(ChannelPort::new(client_txs[i].clone()));
+                    let port: Arc<dyn ClientPort> = match config.chaos {
+                        // Fault injection: deliveries pass through a
+                        // seeded chaos schedule (stream = client id).
+                        // Severing closes the inner port (the runtime
+                        // sees `Lost`, like a dead socket) and reports
+                        // the disconnect to the engine through the
+                        // client's own worker shard.
+                        Some(cfg) => {
+                            let worker = core.worker_txs[i % n_workers].clone();
+                            let from = ClientId(i as u16);
+                            Arc::new(ChaosPort::new(
+                                inner,
+                                cfg,
+                                i as u64,
+                                Box::new(move || {
+                                    let _ = worker.send(ToServer::Disconnect { from });
+                                }),
+                            ))
+                        }
+                        None => inner,
+                    };
                     core.ports
                         .register_port(Some(i as u16), port)
                         .expect("register embedded client");
@@ -306,6 +330,12 @@ impl Oodb {
     /// (for recovery tests).
     pub fn durable_log(&self) -> Vec<u8> {
         self.core.runtime.store().wal().durable_bytes()
+    }
+
+    /// The durable log plus a torn tail of `extra` unforced bytes — the
+    /// log image of a crash striking mid-write (for recovery tests).
+    pub fn crash_log(&self, extra: usize) -> Vec<u8> {
+        self.core.runtime.store().wal().crash_bytes(extra)
     }
 
     /// Stops all threads, flushing state first.

@@ -8,15 +8,17 @@
 //! is the *same* client runtime the embedded engine runs — only the
 //! sink and the inbox feed differ (DESIGN.md §12).
 
+use crate::chaos::{ChaosConfig, ChaosSink};
 use crate::transport::tcp::{TcpConnection, TcpServer, WelcomeInfo};
 use crate::wire::{AppCmd, ClientMsg};
 use crate::{EngineConfig, ServerCore, Session};
 use crossbeam::channel::{unbounded, Sender};
 use fgs_core::{ClientId, ServerStats};
-use fgs_pagestore::{DiskManager, MemDisk, Store, StoreStats};
+use fgs_pagestore::{DiskManager, MemDisk, RecoveryReport, Store, StoreStats};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A running page server accepting TCP clients; dropping it (or calling
 /// [`ServerHandle::shutdown`]) checkpoints and stops it.
@@ -67,6 +69,36 @@ pub fn serve_tcp_with_disk(
     })
 }
 
+/// Recovers a database from a crashed disk image plus the durable log
+/// bytes, then serves it on `addr`. Bump [`EngineConfig::txn_epoch`] past
+/// the crashed incarnation's so restarted clients cannot reuse a
+/// `TxnId` already present in the log.
+pub fn serve_tcp_recover(
+    config: EngineConfig,
+    addr: impl ToSocketAddrs,
+    disk: Arc<dyn DiskManager>,
+    log_bytes: Vec<u8>,
+) -> std::io::Result<(ServerHandle, RecoveryReport)> {
+    config.validate();
+    let (store, report) =
+        Store::recover(disk, log_bytes, config.server_pool_pages, config.db_pages)?;
+    let core = ServerCore::start(&config, store, config.n_clients);
+    let tcp = TcpServer::bind(
+        addr,
+        WelcomeInfo::from_config(&config),
+        core.worker_txs.clone(),
+        core.ports.clone(),
+    )?;
+    Ok((
+        ServerHandle {
+            config,
+            core,
+            tcp: Some(tcp),
+        },
+        report,
+    ))
+}
+
 impl ServerHandle {
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
@@ -96,6 +128,18 @@ impl ServerHandle {
     /// Flushes all dirty pages and the log (checkpoint).
     pub fn checkpoint(&self) -> std::io::Result<()> {
         self.core.checkpoint()
+    }
+
+    /// A snapshot of the *durable* log bytes, as a crash would leave them
+    /// (for recovery tests).
+    pub fn durable_log(&self) -> Vec<u8> {
+        self.core.runtime.store().wal().durable_bytes()
+    }
+
+    /// The durable log plus a torn tail of `extra` unforced bytes — the
+    /// log image of a crash striking mid-write (for recovery tests).
+    pub fn crash_log(&self, extra: usize) -> Vec<u8> {
+        self.core.runtime.store().wal().crash_bytes(extra)
     }
 
     /// Checkpoints, disconnects every client, and stops the pipeline.
@@ -148,6 +192,62 @@ impl RemoteClient {
         let client = conn.client;
         let params = conn.params;
         let sink = Box::new(conn.sink());
+        let (tx, rx) = unbounded();
+        let reader = conn.spawn_reader(tx.clone());
+        let runtime = crate::spawn_client(ClientId(client), params, sink, rx);
+        Ok(RemoteClient {
+            client,
+            tx,
+            threads: vec![reader, runtime],
+        })
+    }
+
+    /// [`RemoteClient::connect_as`] with bounded retry and exponential
+    /// backoff — for reconnecting while a server restarts, or when a
+    /// wanted id is briefly still bound to a dying predecessor
+    /// connection. Returns the last error if every attempt fails.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs,
+        want: Option<u16>,
+        attempts: u32,
+        backoff: Duration,
+    ) -> std::io::Result<RemoteClient> {
+        let mut delay = backoff;
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(500));
+            }
+            match Self::connect_as(&addr, want) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Connects with seeded fault injection on the client→server path:
+    /// requests pass through a [`ChaosSink`] schedule that may delay
+    /// them or sever the connection abruptly (no `Bye` — the socket is
+    /// torn down as a network failure would). `stream` selects an
+    /// independent schedule from the seed in `cfg`.
+    pub fn connect_chaos(
+        addr: impl ToSocketAddrs,
+        want: Option<u16>,
+        cfg: ChaosConfig,
+        stream: u64,
+    ) -> std::io::Result<RemoteClient> {
+        let conn = TcpConnection::connect(addr, want)?;
+        let client = conn.client;
+        let params = conn.params;
+        let peer = conn.peer();
+        let sink = Box::new(ChaosSink::new(
+            Box::new(conn.sink()),
+            cfg,
+            stream,
+            Box::new(move || peer.shutdown_conn()),
+        ));
         let (tx, rx) = unbounded();
         let reader = conn.spawn_reader(tx.clone());
         let runtime = crate::spawn_client(ClientId(client), params, sink, rx);

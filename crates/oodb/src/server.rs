@@ -200,8 +200,25 @@ impl ServerRuntime {
                     req,
                     commit_data,
                 } => self.handle_request(from, req, commit_data, &out),
+                ToServer::Disconnect { from } => self.handle_disconnect(from, &out),
             }
         }
+    }
+
+    /// A client's connection died: the engine purges its copies, aborts
+    /// its live transactions, and completes callbacks it was blocking —
+    /// through the same dispatch path, so grants unblocked by the
+    /// departure are attached and delivered normally.
+    fn handle_disconnect(&self, from: ClientId, out: &Sender<SeqBatch>) {
+        let (outcome, seq) = {
+            let mut g = self.protocol.lock();
+            let outcome = g.engine.client_gone(from);
+            self.maybe_check(&g.engine);
+            let seq = g.next_seq;
+            g.next_seq += 1;
+            (outcome, seq)
+        };
+        self.dispatch(outcome.actions, seq, out);
     }
 
     fn handle_request(
@@ -249,8 +266,8 @@ impl ServerRuntime {
     ) -> std::io::Result<()> {
         self.store.begin(txn);
         for (oid, bytes) in commit_data {
-            if let Err(e) = self.store.update_object(txn, *oid, bytes) {
-                if let Err(undo) = self.store.abort(txn) {
+            if let Err(e) = retry_io(|| self.store.update_object(txn, *oid, bytes)) {
+                if let Err(undo) = retry_io(|| self.store.abort(txn)) {
                     eprintln!("fgs-server: rollback of {txn} failed: {undo}");
                 }
                 return Err(e);
@@ -384,6 +401,22 @@ impl ServerRuntime {
             engine.check_invariants();
         }
     }
+}
+
+/// Retries a storage operation through bounded transient faults. The
+/// fault-injecting disk guarantees a bounded number of induced errors, so
+/// a handful of retries separates "the disk hiccuped" from "the disk is
+/// gone" — only the latter escapes and aborts the commit server-side.
+fn retry_io<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    const ATTEMPTS: usize = 8;
+    let mut last = None;
+    for _ in 0..ATTEMPTS {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one attempt"))
 }
 
 /// The send stage: restores the engine's serialization order across

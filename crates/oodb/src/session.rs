@@ -6,7 +6,19 @@ use crossbeam::channel::{bounded, Sender};
 use fgs_core::{ClientStats, Oid};
 use std::time::Duration;
 
-const RPC_TIMEOUT: Duration = Duration::from_secs(60);
+/// How long one call may block before the connection is declared dead.
+/// Overridable (in milliseconds) with `FGS_RPC_TIMEOUT_MS` — the chaos
+/// harness shortens it so wedged-run diagnostics don't take a minute.
+fn rpc_timeout() -> Duration {
+    static TIMEOUT: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
+    *TIMEOUT.get_or_init(|| {
+        std::env::var("FGS_RPC_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_secs(60))
+    })
+}
 
 /// A handle onto one client workstation. One transaction runs at a time;
 /// calls block until the engine grants (or aborts) them.
@@ -98,8 +110,18 @@ impl Session {
         self.tx
             .send(ClientMsg::App(make(reply_tx)))
             .map_err(|_| TxnError::Closed)?;
-        reply_rx
-            .recv_timeout(RPC_TIMEOUT)
-            .map_err(|_| TxnError::Closed)?
+        match reply_rx.recv_timeout(rpc_timeout()) {
+            Ok(res) => res,
+            Err(_) => {
+                // The call is still pending inside the runtime; issuing
+                // another command now would overlap it and corrupt the
+                // one-call-at-a-time protocol. Declare the connection
+                // dead instead: the runtime shuts down (closing its
+                // transport, which tells the server the client is gone)
+                // and every later call fails fast with `Closed`.
+                let _ = self.tx.send(ClientMsg::App(AppCmd::Shutdown));
+                Err(TxnError::Io("rpc timed out; connection closed".into()))
+            }
+        }
     }
 }

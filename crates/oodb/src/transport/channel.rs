@@ -55,5 +55,10 @@ impl ClientPort for ChannelPort {
         self.inbox.send(ClientMsg::Server(env)).is_ok()
     }
 
-    fn close(&self) {}
+    /// Tells the runtime its "connection" is gone, mirroring what a dead
+    /// socket does over TCP. Embedded runtimes normally outlive their
+    /// port, so this only matters when fault injection severs the port.
+    fn close(&self) {
+        let _ = self.inbox.send(ClientMsg::Lost);
+    }
 }

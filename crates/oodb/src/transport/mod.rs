@@ -64,6 +64,11 @@ pub(crate) struct ClientParams {
     pub objects_per_page: u16,
     pub page_size: usize,
     pub client_cache_pages: usize,
+    /// First transaction sequence number this runtime may use. Encodes
+    /// the server's transaction epoch (and, over TCP, the connection
+    /// counter), so no two connections — and no two server incarnations
+    /// over one log — ever mint the same `TxnId`.
+    pub first_txn_seq: u64,
 }
 
 impl ClientParams {
@@ -73,6 +78,7 @@ impl ClientParams {
             objects_per_page: config.objects_per_page,
             page_size: config.page_size,
             client_cache_pages: config.client_cache_pages,
+            first_txn_seq: u64::from(config.txn_epoch) << 48,
         }
     }
 }

@@ -17,6 +17,7 @@
 //! application as [`TxnError::Server`](crate::TxnError::Server).
 
 use super::{ClientParams, ClientPort, PortMap, RequestSink};
+use crate::chaos::{ChaosConfig, ChaosPort};
 use crate::codec::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
 use crate::error::TxnError;
 use crate::wire::{ClientMsg, ToClient, ToServer};
@@ -85,7 +86,7 @@ impl TcpPeer {
     }
 
     /// Tears the socket down (both directions), unblocking the reader.
-    fn shutdown_conn(&self) {
+    pub(crate) fn shutdown_conn(&self) {
         let mut w = self.writer.lock();
         w.dead = true;
         let _ = w.stream.shutdown(Shutdown::Both);
@@ -112,6 +113,12 @@ pub(crate) struct WelcomeInfo {
     pub objects_per_page: u16,
     pub page_size: u32,
     pub client_cache_pages: u32,
+    /// Folded into the top 16 bits of every connection's first
+    /// transaction sequence number (see [`first_txn_seq`]).
+    pub txn_epoch: u16,
+    /// When set, every accepted connection's port is wrapped in a
+    /// fault-injecting [`ChaosPort`] seeded by the connection counter.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl WelcomeInfo {
@@ -121,8 +128,20 @@ impl WelcomeInfo {
             objects_per_page: config.objects_per_page,
             page_size: config.page_size as u32,
             client_cache_pages: config.client_cache_pages as u32,
+            txn_epoch: config.txn_epoch,
+            chaos: config.chaos,
         }
     }
+}
+
+/// The first transaction sequence number a connection may use:
+/// `epoch:16 | conn:16 | 0:32`. The epoch separates server incarnations
+/// over one write-ahead log; the (wrapping) connection counter separates
+/// reconnections within an incarnation; the low 32 bits leave each
+/// connection four billion transactions. Together they guarantee a
+/// `TxnId` never repeats in a log even across crashes and reconnects.
+fn first_txn_seq(epoch: u16, conn: u64) -> u64 {
+    (u64::from(epoch) << 48) | ((conn & 0xFFFF) << 32)
 }
 
 /// Server→client over a connection's write half.
@@ -236,12 +255,23 @@ fn accept_loop(
         }
         let worker_txs = worker_txs.clone();
         let ports = ports.clone();
+        let conn = next;
         let handle = std::thread::Builder::new()
             .name(format!("fgs-conn-{next}"))
-            .spawn(move || serve_conn(stream, welcome, worker_txs, ports))
+            .spawn(move || serve_conn(stream, welcome, worker_txs, ports, conn))
             .expect("spawn connection");
         conns.push(handle);
         next += 1;
+        // Reap finished connection threads so a long-lived server under
+        // connection churn doesn't accumulate zombie handles.
+        let mut i = 0;
+        while i < conns.len() {
+            if conns[i].is_finished() {
+                let _ = conns.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
     }
     for h in conns {
         let _ = h.join();
@@ -255,6 +285,7 @@ fn serve_conn(
     welcome: WelcomeInfo,
     worker_txs: Vec<Sender<ToServer>>,
     ports: Arc<PortMap>,
+    conn: u64,
 ) {
     if configure_stream(&stream).is_err() {
         return;
@@ -285,7 +316,21 @@ fn serve_conn(
         peer.shutdown_conn();
         return;
     }
-    let port: Arc<dyn ClientPort> = Arc::new(TcpPort { peer: peer.clone() });
+    let tcp_port = TcpPort { peer: peer.clone() };
+    let port: Arc<dyn ClientPort> = match welcome.chaos {
+        // Fault injection: deliveries to this connection pass through a
+        // seeded chaos schedule (stream = connection counter, so every
+        // accepted connection draws an independent sequence). Severing
+        // shuts the socket; the read loop below then ends and reports the
+        // disconnect, exactly like a real connection death.
+        Some(cfg) => Arc::new(ChaosPort::new(
+            Arc::new(tcp_port),
+            cfg,
+            conn,
+            Box::new(|| {}),
+        )),
+        None => Arc::new(tcp_port),
+    };
     let id = match ports.register_port(want, port.clone()) {
         Ok(id) => id,
         Err(reason) => {
@@ -304,13 +349,14 @@ fn serve_conn(
             objects_per_page: welcome.objects_per_page,
             page_size: welcome.page_size,
             client_cache_pages: welcome.client_cache_pages,
+            first_txn_seq: first_txn_seq(welcome.txn_epoch, conn),
         })
         .is_ok();
 
     // Steady state: unbounded reads (see module docs), requests forwarded
     // into the owning worker shard.
+    let worker = &worker_txs[id as usize % worker_txs.len()];
     if accepted && read_half.set_read_timeout(None).is_ok() {
-        let worker = &worker_txs[id as usize % worker_txs.len()];
         // `Bye`, any other frame (protocol violation), or a read error
         // all end the connection.
         while let Ok(Frame::Request {
@@ -335,6 +381,12 @@ fn serve_conn(
             }
         }
     }
+    // Tell the engine the client is gone — through the same worker shard
+    // as its requests, so it lands after everything the connection sent.
+    // Sent *before* deregistering: a reconnecting client can only rebind
+    // the id after the deregister, so its first request is enqueued after
+    // this notice and cannot be swept up by the old connection's cleanup.
+    let _ = worker.send(ToServer::Disconnect { from: ClientId(id) });
     ports.deregister_port(id, &port);
     peer.shutdown_conn();
 }
@@ -404,6 +456,7 @@ impl TcpConnection {
                 objects_per_page,
                 page_size,
                 client_cache_pages,
+                first_txn_seq,
             }) => {
                 if !(1..=PROTOCOL_VERSION).contains(&version) {
                     return Err(io::Error::new(
@@ -420,6 +473,7 @@ impl TcpConnection {
                         objects_per_page,
                         page_size: page_size as usize,
                         client_cache_pages: client_cache_pages as usize,
+                        first_txn_seq,
                     },
                 }
             }
@@ -446,6 +500,12 @@ impl TcpConnection {
         TcpSink {
             peer: self.peer.clone(),
         }
+    }
+
+    /// The shared write half — lets fault injection sever the connection
+    /// abruptly (no `Bye`), as a network failure would.
+    pub(crate) fn peer(&self) -> Arc<TcpPeer> {
+        self.peer.clone()
     }
 
     /// Consumes the read half into a reader thread feeding `inbox`:

@@ -19,6 +19,14 @@ pub(crate) enum ToServer {
         /// Dirty `(object, bytes)` pairs accompanying a commit.
         commit_data: Vec<(Oid, Vec<u8>)>,
     },
+    /// The transport lost `from`'s connection: the engine reclaims the
+    /// client's copies and aborts its live transactions. Routed through
+    /// the client's worker shard, so it is ordered after every request
+    /// the dead connection managed to send.
+    Disconnect {
+        /// The client whose connection died.
+        from: ClientId,
+    },
     /// Stop the server thread.
     Shutdown,
 }

@@ -74,15 +74,14 @@ fn frame() -> impl Strategy<Value = Frame> {
             }
         ),
         (
-            any::<u16>(),
-            any::<u16>(),
-            protocol(),
-            any::<u16>(),
-            any::<u32>(),
-            any::<u32>()
+            (any::<u16>(), any::<u16>(), protocol()),
+            (any::<u16>(), any::<u32>(), any::<u32>(), any::<u64>())
         )
             .prop_map(
-                |(version, client, protocol, objects_per_page, page_size, client_cache_pages)| {
+                |(
+                    (version, client, protocol),
+                    (objects_per_page, page_size, client_cache_pages, first_txn_seq),
+                )| {
                     Frame::Welcome {
                         version,
                         client,
@@ -90,6 +89,7 @@ fn frame() -> impl Strategy<Value = Frame> {
                         objects_per_page,
                         page_size,
                         client_cache_pages,
+                        first_txn_seq,
                     }
                 }
             ),

@@ -3,8 +3,9 @@
 //! sockets — the same path the `fgs-serverd` binary exposes.
 
 use fgs_core::{Oid, PageId, Protocol};
+use fgs_oodb::codec::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
 use fgs_oodb::{serve_tcp, EngineConfig, RemoteClient, TxnError};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 
 fn retry_connect(addr: std::net::SocketAddr, want: Option<u16>) -> RemoteClient {
     for _ in 0..100 {
@@ -125,6 +126,162 @@ fn malformed_peer_does_not_disturb_the_server() {
         b"still alive"
     );
     client.shutdown();
+    server.shutdown();
+}
+
+/// A client demanding a frame version the server does not speak is
+/// rejected at handshake with a `Reject` frame, not a hang or a silent
+/// close.
+#[test]
+fn version_mismatch_from_client_is_rejected() {
+    let server = serve_tcp(config(Protocol::PsAa, 2), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut conn,
+        &Frame::Hello {
+            min_version: PROTOCOL_VERSION + 98,
+            max_version: PROTOCOL_VERSION + 99,
+            client: None,
+        },
+    )
+    .unwrap();
+    match read_frame(&mut conn) {
+        Ok(Frame::Reject { reason }) => {
+            assert!(
+                reason.contains("version"),
+                "reject should name the version problem, got {reason:?}"
+            );
+        }
+        other => panic!("expected Reject, got {other:?}"),
+    }
+
+    // The rejection burned nothing: a well-versioned client still fits.
+    let client = RemoteClient::connect(addr).unwrap();
+    client.shutdown();
+    server.shutdown();
+}
+
+/// A server negotiating a frame version the client does not speak is
+/// refused client-side: `connect` fails with `InvalidData` instead of
+/// running a runtime over frames it cannot trust.
+#[test]
+fn version_mismatch_from_server_is_refused() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    // A fake server that accepts the handshake but claims a future frame
+    // version in its `Welcome`.
+    let fake = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        match read_frame(&mut conn) {
+            Ok(Frame::Hello { .. }) => {}
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        write_frame(
+            &mut conn,
+            &Frame::Welcome {
+                version: PROTOCOL_VERSION + 98,
+                client: 0,
+                protocol: Protocol::PsAa,
+                objects_per_page: 8,
+                page_size: 512,
+                client_cache_pages: 4,
+                first_txn_seq: 0,
+            },
+        )
+        .unwrap();
+        // Hold the socket open until the client has judged the Welcome.
+        let _ = read_frame(&mut conn);
+    });
+
+    let err = match RemoteClient::connect(addr) {
+        Err(e) => e,
+        Ok(_) => panic!("future version must be refused"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+    fake.join().unwrap();
+}
+
+/// Threads alive in this process (Linux: one entry per task).
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+/// Connection churn — clean goodbyes and abrupt resets alike — must not
+/// leak server-side connection threads. Exercises the acceptor's
+/// finished-handle reaping and the read loop's teardown path.
+#[test]
+fn repeated_connections_do_not_leak_threads() {
+    let server = serve_tcp(config(Protocol::PsAa, 2), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let oid = Oid::new(PageId(1), 2);
+
+    // Warm up one full connection so lazily spawned threads exist before
+    // the baseline is taken.
+    let warm = retry_connect(addr, Some(0));
+    warm.session()
+        .run_txn(4, |t| t.write(oid, b"warm".to_vec()))
+        .unwrap();
+    warm.shutdown();
+    let baseline = thread_count();
+
+    for i in 0..50 {
+        if i % 2 == 0 {
+            // Clean: full handshake, one transaction, polite goodbye.
+            let c = retry_connect(addr, Some(0));
+            c.session()
+                .run_txn(4, |t| t.write(oid, vec![i as u8; 4]))
+                .unwrap();
+            c.shutdown();
+        } else {
+            // Abrupt: handshake then drop the socket mid-conversation —
+            // a connection reset from the server's point of view.
+            let mut conn = TcpStream::connect(addr).unwrap();
+            write_frame(
+                &mut conn,
+                &Frame::Hello {
+                    min_version: 1,
+                    max_version: PROTOCOL_VERSION,
+                    client: Some(1),
+                },
+            )
+            .unwrap();
+            match read_frame(&mut conn) {
+                Ok(Frame::Welcome { .. }) => {}
+                other => panic!("expected Welcome, got {other:?}"),
+            }
+            drop(conn);
+        }
+    }
+
+    // Dead connection threads take a moment to unwind; poll until the
+    // count settles back to the baseline (small slack for the acceptor's
+    // in-flight reap).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let now = thread_count();
+        if now <= baseline + 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "thread count {now} never settled to baseline {baseline}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // And the server still serves.
+    let c = retry_connect(addr, Some(0));
+    assert_eq!(
+        c.session().run_txn(4, |t| t.read(oid)).unwrap()[0],
+        48,
+        "last clean write visible"
+    );
+    c.shutdown();
     server.shutdown();
 }
 

@@ -13,6 +13,19 @@ use fgs_core::{Oid, PageId, Protocol};
 use fgs_oodb::{EngineConfig, Oodb, TxnError};
 use std::sync::Arc;
 
+/// The base seed for every random schedule in this suite: `FGS_SEED` in
+/// the environment, or a fixed default. Failures print the seed in their
+/// panic message, so any run can be reproduced with
+/// `FGS_SEED=<seed> cargo test`.
+fn base_seed() -> u64 {
+    match std::env::var("FGS_SEED") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("FGS_SEED must be a u64, got {v:?}")),
+        Err(_) => 0x9E37_79B9,
+    }
+}
+
 fn config(protocol: Protocol) -> EngineConfig {
     EngineConfig {
         protocol,
@@ -40,6 +53,7 @@ fn encode(version: u64) -> Vec<u8> {
 
 #[test]
 fn concurrent_version_counters_never_regress() {
+    let seed = base_seed();
     for protocol in Protocol::ALL {
         let db = Arc::new(Oodb::open(config(protocol)).unwrap());
         let objects: Vec<Oid> = (0..4)
@@ -51,7 +65,7 @@ fn concurrent_version_counters_never_regress() {
                 let objects = objects.clone();
                 scope.spawn(move || {
                     let s = db.session(t);
-                    let mut x = 0x9E37_79B9u64.wrapping_mul(u64::from(t) + 1);
+                    let mut x = seed.wrapping_mul(u64::from(t) + 1) | 1;
                     let mut rand = move || {
                         x ^= x << 13;
                         x ^= x >> 7;
@@ -64,17 +78,17 @@ fn concurrent_version_counters_never_regress() {
                         let res: Result<(), TxnError> = s.run_txn(100, |txn| {
                             let va = decode(&txn.read(a)?);
                             // Repeatable read inside the transaction.
-                            assert_eq!(decode(&txn.read(a)?), va, "{protocol}");
+                            assert_eq!(decode(&txn.read(a)?), va, "{protocol} FGS_SEED={seed}");
                             txn.write(a, encode(va + 1))?;
                             // Read our own write.
-                            assert_eq!(decode(&txn.read(a)?), va + 1, "{protocol}");
+                            assert_eq!(decode(&txn.read(a)?), va + 1, "{protocol} FGS_SEED={seed}");
                             if b != a {
                                 let vb = decode(&txn.read(b)?);
                                 txn.write(b, encode(vb + 1))?;
                             }
                             Ok(())
                         });
-                        res.unwrap_or_else(|e| panic!("{protocol}: {e}"));
+                        res.unwrap_or_else(|e| panic!("{protocol} FGS_SEED={seed}: {e}"));
                     }
                 });
             }
@@ -87,7 +101,7 @@ fn concurrent_version_counters_never_regress() {
         s.commit().unwrap();
         assert!(
             (160..=320).contains(&total),
-            "{protocol}: {total} increments outside possible range"
+            "{protocol} FGS_SEED={seed}: {total} increments outside possible range"
         );
         db.check_server_invariants();
     }

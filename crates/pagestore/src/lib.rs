@@ -26,6 +26,7 @@
 
 mod bufferpool;
 mod disk;
+mod fault;
 mod page;
 mod recovery;
 mod store;
@@ -34,6 +35,7 @@ mod wal;
 
 pub use bufferpool::BufferPool;
 pub use disk::{DiskManager, FileDisk, MemDisk};
+pub use fault::{FaultPlan, FaultyDisk};
 pub use page::{PageError, Record, SlottedPage};
 pub use recovery::{recover, RecoveryReport};
 pub use store::{Store, StoreStats};

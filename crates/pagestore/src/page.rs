@@ -169,15 +169,21 @@ impl SlottedPage {
             return Ok(());
         }
         // Try to place a fresh copy; tombstone the old one first so
-        // compaction can reclaim it.
+        // compaction can reclaim it. Compaction relocates the surviving
+        // records, so the old bytes must be kept and re-placed on failure —
+        // re-pointing the slot at its pre-compaction offset would alias a
+        // neighbor's moved record.
+        let off = off as usize;
+        let old = self.buf[off..off + old_len].to_vec();
         self.set_slot(slot, EMPTY, 0);
         if self.free_space() < new_len {
             self.compact();
         }
         if self.free_space() < new_len {
-            // Restore the old record so the caller can still read it when
+            // Re-place the old record (compaction just reclaimed its bytes,
+            // so it always fits) so the caller can still read it when
             // installing a forward.
-            self.set_slot(slot, off, old_len as u16);
+            self.place(slot, old[0], &old[1..]);
             return Err(PageError::Full);
         }
         self.place(slot, TAG_DATA, data);
@@ -198,11 +204,14 @@ impl SlottedPage {
             self.set_slot(slot, off as u16, 7);
             return Ok(());
         }
+        let off = off as usize;
+        let old = self.buf[off..off + old_len].to_vec();
         self.set_slot(slot, EMPTY, 0);
         if self.free_space() < 7 {
             self.compact();
             if self.free_space() < 7 {
-                self.set_slot(slot, off, old_len as u16);
+                // Same as `update`: re-place, never re-point, after compaction.
+                self.place(slot, old[0], &old[1..]);
                 return Err(PageError::Full);
             }
         }
@@ -400,6 +409,28 @@ mod tests {
         assert_eq!(p.insert(&[0u8; 100]), Err(PageError::Full));
         let _ = p.insert(&[0u8; 30]).unwrap();
         assert_eq!(p.insert(&[0u8; 30]), Err(PageError::Full));
+    }
+
+    #[test]
+    fn failed_grow_after_compaction_preserves_neighbors() {
+        let mut p = SlottedPage::new(256);
+        let a = p.insert(&[1u8; 15]).unwrap();
+        let b = p.insert(&[2u8; 15]).unwrap();
+        let c = p.insert(&[3u8; 15]).unwrap();
+        let d = p.insert(&[4u8; 15]).unwrap();
+        p.update(a, &[7u8; 150]).unwrap(); // grows, eats most free space
+                                           // Growing b can't fit even after compaction (which relocates a);
+                                           // the failure must leave every record intact and readable.
+        assert_eq!(p.update(b, &[8u8; 150]), Err(PageError::Full));
+        assert_eq!(p.read(a).unwrap(), Record::Data(&[7u8; 150][..]));
+        assert_eq!(p.read(b).unwrap(), Record::Data(&[2u8; 15][..]));
+        // The forward stub that follows a failed grow must not clobber
+        // the relocated neighbor either.
+        p.forward(b, 100, 0).unwrap();
+        assert_eq!(p.read(a).unwrap(), Record::Data(&[7u8; 150][..]));
+        assert_eq!(p.read(b).unwrap(), Record::Forward(100, 0));
+        assert_eq!(p.read(c).unwrap(), Record::Data(&[3u8; 15][..]));
+        assert_eq!(p.read(d).unwrap(), Record::Data(&[4u8; 15][..]));
     }
 
     #[test]

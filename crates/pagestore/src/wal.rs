@@ -325,6 +325,17 @@ impl Wal {
         g.buf[..g.flushed as usize].to_vec()
     }
 
+    /// A crash image of the log: the durable prefix plus up to `extra`
+    /// bytes of the unflushed tail, as a disk that tore mid-write would
+    /// leave it. `extra = 0` is the strict durable horizon; a nonzero
+    /// `extra` usually ends mid-record, which replay must (and does)
+    /// discard via the length/CRC framing.
+    pub fn crash_bytes(&self, extra: usize) -> Vec<u8> {
+        let g = self.inner.lock();
+        let end = (g.flushed as usize + extra).min(g.buf.len());
+        g.buf[..end].to_vec()
+    }
+
     /// Replays the durable prefix, yielding `(lsn, record)` pairs. Stops
     /// cleanly at a torn or corrupt tail.
     pub fn replay(&self) -> Vec<(Lsn, LogRecord)> {
