@@ -695,7 +695,13 @@ impl ServerEngine {
                     }
                 }
             }
-            _ => {
+            // Every final reply kind resolves the outstanding callback the
+            // same way; spelled out so a new reply variant cannot silently
+            // inherit this path (fgs-lint handler_exhaustiveness).
+            CallbackReply::PagePurged { .. }
+            | CallbackReply::ObjectUnavailable { .. }
+            | CallbackReply::ObjectPurged { .. }
+            | CallbackReply::NotCached { .. } => {
                 let Some(op) = self.ops.get_mut(&callback) else {
                     return; // cancelled op; effects already applied
                 };

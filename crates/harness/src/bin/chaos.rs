@@ -5,7 +5,8 @@
 //! ```
 //!
 //! Runs `N` seeded chaos runs per transport mode starting at seed `S`.
-//! Every failure prints the seed and mode needed to reproduce it
+//! Every failure prints one grep-able `FAIL FGS_SEED=<seed> mode=<mode>`
+//! line carrying the full reproduce command
 //! (`fgs-chaos --seeds 1 --start <seed> --mode <mode>`); the process
 //! exits nonzero if any run fails.
 
@@ -116,10 +117,15 @@ fn main() {
                         Mode::Channel => "channel",
                         Mode::Tcp => "tcp",
                     };
+                    // One grep-able line per failure (mirrors the
+                    // `FGS_SEED=<seed>` convention of the stress suite):
+                    // seed, mode and reproduce command together, with the
+                    // error's newlines flattened so nothing splits it.
+                    let flat = e.replace('\n', " | ");
                     let msg = format!(
-                        "FAIL seed={seed} mode={mode_flag}: {e}\n  \
-                         reproduce: fgs-chaos --seeds 1 --start {seed} \
-                         --mode {mode_flag} --txns {}",
+                        "FAIL FGS_SEED={seed} mode={mode_flag} \
+                         [reproduce: fgs-chaos --seeds 1 --start {seed} \
+                         --mode {mode_flag} --txns {}]: {flat}",
                         args.txns
                     );
                     eprintln!("{msg}");

@@ -1,0 +1,28 @@
+// Fixture: wall-clock and OS-randomness reads. Lints clean from the
+// fixtures directory (the determinism rule is scoped to the simulator /
+// harness run paths); the self-test re-lints this same source under a
+// `crates/simkernel/src/` path and must then see one violation per
+// banned read below — but none for the `#[cfg(test)]` module.
+
+fn bad_clock() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn bad_wall() -> u64 {
+    let t = SystemTime::now();
+    0
+}
+
+fn bad_rng() -> u64 {
+    let mut r = thread_rng();
+    r.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    fn wall_clock_is_fine_in_tests() -> u64 {
+        let t = Instant::now();
+        t.elapsed().as_nanos() as u64
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: a designated protocol handler (`ServerEngine::handle` over
+// `Request`) that drops three variants and hides them behind a wildcard
+// arm. fgs-lint must flag the missing variants once (at the handler) and
+// the `_` arm itself (handler_exhaustiveness).
+
+struct ServerEngine {
+    seq: u64,
+}
+
+impl ServerEngine {
+    fn handle(&mut self, from: u32, req: Request) {
+        match req {
+            Request::Read { txn, oid } => self.seq += u64::from(from),
+            Request::Write {
+                txn,
+                oid,
+                need_copy,
+            } => self.seq += 2,
+            Request::Commit { txn, writes } => self.seq += 3,
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,54 @@
+// Fixture: wire messages forged outside the protocol model. fgs-lint
+// must flag (illegal_transition):
+//  - a client-role owner constructing server messages, both directly
+//    (`spoof_ack`, `forge`) and transitively through a helper (`relay`,
+//    traced via the call-graph fixpoint's send effects);
+//  - the same constructions as origin-table misses (only the modeled
+//    engine transitions may build each message);
+//  - a grant addressed to a transaction the same body already finished
+//    with a terminal message (`abort_txn` — the `Aborted` itself is a
+//    modeled origin and passes; the grant after it must not).
+
+struct ClientEngine {
+    txn: u64,
+    out: Vec<u64>,
+}
+
+impl ClientEngine {
+    fn spoof_ack(&mut self) {
+        let msg = ServerMsg::CommitDone { txn: self.txn };
+        self.push(msg);
+    }
+
+    fn forge(&mut self) -> ServerMsg {
+        ServerMsg::AbortDone { txn: self.txn }
+    }
+
+    fn relay(&mut self) {
+        let m = self.forge();
+        self.push_msg(m);
+    }
+
+    fn push(&mut self, m: ServerMsg) {
+        self.out.push(1);
+    }
+
+    fn push_msg(&mut self, m: ServerMsg) {
+        self.out.push(2);
+    }
+}
+
+struct ServerEngine {
+    seq: u64,
+}
+
+impl ServerEngine {
+    fn abort_txn(&mut self, txn: u64, oid: u64) {
+        self.send(ServerMsg::Aborted { txn, reason: 1 });
+        self.send(ServerMsg::ReadGranted { txn, oid, data: 0 });
+    }
+
+    fn send(&mut self, m: ServerMsg) {
+        self.seq += 1;
+    }
+}

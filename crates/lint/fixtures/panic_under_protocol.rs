@@ -1,0 +1,42 @@
+// Fixture: panics and thread-blocking calls while the ProtocolStage
+// guard is live. fgs-lint must flag the `unwrap`, the `panic!` and the
+// `sleep` (panic_under_protocol) and stay silent once the guard has been
+// released.
+
+struct ProtocolStage {
+    engine: u32,
+}
+
+struct Srv {
+    protocol: Mutex<ProtocolStage>,
+}
+
+impl Srv {
+    fn bad_unwrap(&self, x: Option<u32>) -> u32 {
+        let g = self.protocol.lock();
+        let v = x.unwrap();
+        drop(g);
+        v
+    }
+
+    fn bad_panic(&self, ready: bool) {
+        let g = self.protocol.lock();
+        if !ready {
+            panic!("stage not ready");
+        }
+        drop(g);
+    }
+
+    fn bad_sleep(&self, d: Duration) {
+        let g = self.protocol.lock();
+        thread::sleep(d);
+        drop(g);
+    }
+
+    fn fine_after_release(&self, x: Option<u32>) -> u32 {
+        {
+            let g = self.protocol.lock();
+        }
+        x.unwrap()
+    }
+}

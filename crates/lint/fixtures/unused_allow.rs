@@ -1,0 +1,32 @@
+// Fixture: escape hatches that no longer suppress anything. fgs-lint
+// must flag both the stale directive and the stale attribute
+// (unused_allow) — the code below is clean, so the annotations are rot.
+
+struct GcState {
+    pending: Vec<u64>,
+}
+
+struct WalInner {
+    buf: Vec<u8>,
+}
+
+struct Srv {
+    gc: Mutex<GcState>,
+    wal: Mutex<WalInner>,
+}
+
+impl Srv {
+    // fgs-lint: allow(lock_order)
+    fn fine(&self) {
+        let g = self.gc.lock();
+        let w = self.wal.lock();
+        drop(w);
+        drop(g);
+    }
+
+    #[allow_lock_order]
+    fn also_fine(&self) {
+        let g = self.gc.lock();
+        drop(g);
+    }
+}

@@ -162,6 +162,9 @@ struct Effects {
     /// May re-enter the protocol engine (acquire `ProtocolStage` or call
     /// `ServerEngine::{handle, abort_txn}`).
     enters_engine: bool,
+    /// Wire messages (`Enum::Variant` → witness chain) this function may
+    /// construct — the send-sites the protocol role check traces.
+    sends: HashMap<String, String>,
 }
 
 impl Effects {
@@ -170,6 +173,12 @@ impl Effects {
         for (&c, w) in &other.acquires {
             if let std::collections::hash_map::Entry::Vacant(e) = self.acquires.entry(c) {
                 e.insert(format!("{via} -> {w}"));
+                changed = true;
+            }
+        }
+        for (path, w) in &other.sends {
+            if !self.sends.contains_key(path) {
+                self.sends.insert(path.clone(), format!("{via} -> {w}"));
                 changed = true;
             }
         }
@@ -203,11 +212,11 @@ struct Guard {
     closure: usize,
 }
 
-struct FileUnit {
-    file: String,
-    toks: Vec<Tok>,
-    directives: Vec<crate::lexer::Directive>,
-    facts: FileFacts,
+pub(crate) struct FileUnit {
+    pub(crate) file: String,
+    pub(crate) toks: Vec<Tok>,
+    pub(crate) directives: Vec<crate::lexer::Directive>,
+    pub(crate) facts: FileFacts,
 }
 
 /// Receiver shapes the resolver understands.
@@ -230,13 +239,13 @@ enum Recv {
 
 /// The whole-workspace index the analysis runs over.
 pub struct Workspace {
-    units: Vec<FileUnit>,
+    pub(crate) units: Vec<FileUnit>,
     /// Flat list of (unit index, fn index within unit).
     fns: Vec<(usize, usize)>,
     /// Function name → flat fn ids.
     by_name: HashMap<String, Vec<usize>>,
     /// (owner, name) → flat fn ids.
-    by_owner: HashMap<(String, String), Vec<usize>>,
+    pub(crate) by_owner: HashMap<(String, String), Vec<usize>>,
     /// struct name → field → type hint (merged across files).
     fields: HashMap<String, HashMap<String, String>>,
     /// field name → distinct type hints anywhere in the workspace.
@@ -295,18 +304,20 @@ impl Workspace {
         }
     }
 
-    fn fndef(&self, id: usize) -> &FnDef {
+    pub(crate) fn fndef(&self, id: usize) -> &FnDef {
         let (ui, fi) = self.fns[id];
         &self.units[ui].facts.fns[fi]
     }
 
-    fn toks(&self, id: usize) -> &[Tok] {
+    pub(crate) fn toks(&self, id: usize) -> &[Tok] {
         let (ui, _) = self.fns[id];
         &self.units[ui].toks
     }
 
-    /// Run the analysis: fixpoint effects, then rule replay, then
-    /// directive suppression. Returns violations sorted by file/line.
+    /// Run the analysis: fixpoint effects, then rule replay plus the
+    /// protocol-conformance passes, then directive suppression (which
+    /// also reports stale allows). Returns violations sorted by
+    /// file/line.
     pub fn check(&self) -> Vec<Violation> {
         let mut effects: Vec<Effects> = vec![Effects::default(); self.fns.len()];
         for _ in 0..24 {
@@ -327,6 +338,8 @@ impl Workspace {
             let (_, mut v) = self.walk(id, &effects);
             out.append(&mut v);
         }
+        let sends: Vec<HashMap<String, String>> = effects.into_iter().map(|e| e.sends).collect();
+        out.extend(self.check_protocol(&sends));
         self.suppress(&mut out);
         out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
         out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
@@ -334,7 +347,9 @@ impl Workspace {
     }
 
     /// Drop violations covered by `fgs-lint: allow(...)` directives or an
-    /// `#[allow_lock_order]` attribute on the function.
+    /// `#[allow_lock_order]` attribute on the function — and report any
+    /// directive/attribute that suppressed nothing as `unused_allow`
+    /// (stale escape hatches rot into blanket immunity otherwise).
     fn suppress(&self, violations: &mut Vec<Violation>) {
         let mut attr_lines: HashMap<&str, Vec<u32>> = HashMap::new();
         for unit in &self.units {
@@ -350,10 +365,15 @@ impl Workspace {
             }
             attr_lines.insert(unit.file.as_str(), lines);
         }
+        // (unit index, directive index) / (unit index, attr line) that
+        // suppressed at least one violation.
+        let mut used_dirs: HashSet<(usize, usize)> = HashSet::new();
+        let mut used_attrs: HashSet<(usize, u32)> = HashSet::new();
         violations.retain(|v| {
-            let Some(unit) = self.units.iter().find(|u| u.file == v.file) else {
+            let Some(ui) = self.units.iter().position(|u| u.file == v.file) else {
                 return true;
             };
+            let unit = &self.units[ui];
             // The function containing the violation, for fn-wide scope.
             let sig = unit
                 .facts
@@ -363,22 +383,52 @@ impl Workspace {
                 .map(|f| f.sig_line)
                 .max();
             let fn_wide = |line: u32| sig.is_some_and(|s| line <= s && line + 3 >= s);
-            for d in &unit.directives {
+            for (di, d) in unit.directives.iter().enumerate() {
                 let applies = d.line == v.line || d.line + 1 == v.line || fn_wide(d.line);
                 let names = d.rules.iter().any(|r| r == "all" || r == v.rule.name());
                 if applies && names {
+                    used_dirs.insert((ui, di));
                     return false;
                 }
             }
             if v.rule == Rule::LockOrder {
                 for &line in &attr_lines[unit.file.as_str()] {
                     if fn_wide(line) || line == v.line || line + 1 == v.line {
+                        used_attrs.insert((ui, line));
                         return false;
                     }
                 }
             }
             true
         });
+        for (ui, unit) in self.units.iter().enumerate() {
+            for (di, d) in unit.directives.iter().enumerate() {
+                if !used_dirs.contains(&(ui, di)) {
+                    violations.push(Violation {
+                        rule: Rule::UnusedAllow,
+                        file: unit.file.clone(),
+                        line: d.line,
+                        message: format!(
+                            "`fgs-lint: allow({})` suppresses nothing; delete the stale \
+                             directive (unused_allow cannot itself be allowed)",
+                            d.rules.join(", ")
+                        ),
+                    });
+                }
+            }
+            for &line in &attr_lines[unit.file.as_str()] {
+                if !used_attrs.contains(&(ui, line)) {
+                    violations.push(Violation {
+                        rule: Rule::UnusedAllow,
+                        file: unit.file.clone(),
+                        line,
+                        message: "`#[allow_lock_order]` suppresses nothing; delete the \
+                                  stale attribute"
+                            .to_string(),
+                    });
+                }
+            }
+        }
     }
 
     // -- the body walker ----------------------------------------------
@@ -451,6 +501,38 @@ impl Workspace {
                 i += 4;
                 continue;
             }
+            // A wire-message construction: record the send effect for the
+            // protocol role check (pattern positions are filtered out).
+            if t.kind == TokKind::Ident && (t.text == "ServerMsg" || t.text == "Request") {
+                if let Some(c) = crate::protocol::construction_at(toks, i) {
+                    own.sends
+                        .entry(c.path)
+                        .or_insert_with(|| format!("{} line {}", callee_desc(f), c.line));
+                }
+            }
+            // Panic-family macro while the engine lock is held: poisoning
+            // the ProtocolStage mutex takes the whole server down.
+            if t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                )
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                if let Some(g) = held.iter().find(|g| g.class == LockClass::ProtocolStage) {
+                    violations.push(Violation {
+                        rule: Rule::PanicUnderProtocol,
+                        file: f.file.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`{}!` while the ProtocolStage guard is live (acquired at \
+                             line {}); a panic here poisons the engine lock for every \
+                             client",
+                            t.text, g.line
+                        ),
+                    });
+                }
+            }
             // A call: `ident (` — either `recv.name(...)` or `name(...)`.
             if t.kind == TokKind::Ident
                 && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
@@ -483,6 +565,32 @@ impl Workspace {
                     pending_let = None;
                     i = close + 1;
                     continue;
+                }
+                // Direct panic or thread-blocking call under the engine
+                // lock (transitive panics are deliberately not traced:
+                // the engine's own invariant `expect`s run *inside* the
+                // stage by design — the rule polices the embedding).
+                let panicky = is_method && matches!(name.as_str(), "unwrap" | "expect");
+                let blocking = matches!(name.as_str(), "sleep" | "join" | "park");
+                if panicky || blocking {
+                    if let Some(g) = held.iter().find(|g| g.class == LockClass::ProtocolStage) {
+                        violations.push(Violation {
+                            rule: Rule::PanicUnderProtocol,
+                            file: f.file.clone(),
+                            line,
+                            message: format!(
+                                "`{name}` {} while the ProtocolStage guard is live \
+                                 (acquired at line {}); {}",
+                                if panicky { "can panic" } else { "blocks" },
+                                g.line,
+                                if panicky {
+                                    "a panic here poisons the engine lock for every client"
+                                } else {
+                                    "nothing may stall the single-writer protocol stage"
+                                }
+                            ),
+                        });
+                    }
                 }
                 let guards = guard_index(&held);
                 let recv = if is_method {
@@ -568,7 +676,6 @@ impl Workspace {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn check_call(
         &self,
         held: &[Guard],

@@ -254,10 +254,13 @@ fn collect_directive(comment: &str, line: u32, out: &mut Vec<Directive>) {
     else {
         return;
     };
+    // Only identifier-shaped names count: prose mentions of the syntax in
+    // ordinary comments (e.g. "`fgs-lint: allow(...)` directives") must
+    // not register as (inevitably unused) directives.
     let rules: Vec<String> = inner
         .split(',')
         .map(|r| r.trim().to_string())
-        .filter(|r| !r.is_empty())
+        .filter(|r| !r.is_empty() && r.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'))
         .collect();
     if !rules.is_empty() {
         out.push(Directive { line, rules });

@@ -1,16 +1,22 @@
-//! `fgs-lint` — workspace lock-discipline lint for the fgs crates.
+//! `fgs-lint` — workspace lock-discipline and protocol-conformance lint
+//! for the fgs crates.
 //!
 //! Enforces the declared lock-order DAG
-//! (`GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk -> PortTable -> ConnWriter`) and two
-//! guard-hygiene rules (`io_under_protocol`, `reentrant_closure`) with a
-//! hand-rolled lexer + shallow parser, so the workspace needs no external
-//! proc-macro dependencies. See `analysis` for the model and its
-//! deliberate under-approximations.
+//! (`GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk -> PortTable -> ConnWriter`), two
+//! guard-hygiene rules (`io_under_protocol`, `reentrant_closure`), and the
+//! FGSP protocol-conformance passes (`handler_exhaustiveness`,
+//! `illegal_transition`, `panic_under_protocol`, `determinism`,
+//! `unused_allow`) with a hand-rolled lexer + shallow parser, so the
+//! workspace needs no external proc-macro dependencies. See `analysis`
+//! for the model and its deliberate under-approximations, and
+//! `protocol_model` for the declarative FGSP state-machine tables.
 
 pub mod analysis;
 pub mod lexer;
 pub mod model;
 pub mod parser;
+pub mod protocol;
+pub mod protocol_model;
 
 pub use analysis::Workspace;
 pub use model::{LockClass, Rule, Violation};

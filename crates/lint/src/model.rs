@@ -106,6 +106,24 @@ pub enum Rule {
     IoUnderProtocol,
     /// A guard held across a closure body that can re-enter the engine.
     ReentrantClosure,
+    /// A designated protocol handler fails to match every variant of its
+    /// message enum, or hides new variants behind a `_` wildcard arm.
+    HandlerExhaustiveness,
+    /// A protocol message constructed outside its modeled origin function,
+    /// sent in the wrong role direction, or sent to a transaction after a
+    /// terminal message (abort/commit ack) was already issued to it.
+    IllegalTransition,
+    /// `unwrap`/`expect`/`panic!` (or a thread-blocking call) while the
+    /// `ProtocolStage` guard is live: a poisoned engine lock takes the
+    /// whole server down.
+    PanicUnderProtocol,
+    /// Wall-clock or OS randomness (`Instant::now`, `SystemTime`,
+    /// `thread_rng`) in the deterministic simulator/harness run paths.
+    Determinism,
+    /// A `fgs-lint: allow(...)` directive or `#[allow_lock_order]`
+    /// attribute that no longer suppresses anything. Not itself
+    /// suppressible: delete the stale annotation instead.
+    UnusedAllow,
 }
 
 impl Rule {
@@ -115,6 +133,11 @@ impl Rule {
             Rule::LockOrder => "lock_order",
             Rule::IoUnderProtocol => "io_under_protocol",
             Rule::ReentrantClosure => "reentrant_closure",
+            Rule::HandlerExhaustiveness => "handler_exhaustiveness",
+            Rule::IllegalTransition => "illegal_transition",
+            Rule::PanicUnderProtocol => "panic_under_protocol",
+            Rule::Determinism => "determinism",
+            Rule::UnusedAllow => "unused_allow",
         }
     }
 }

@@ -70,6 +70,21 @@ pub fn parse(file: &str, toks: &[Tok]) -> FileFacts {
                     i += 1;
                 }
             }
+            TokKind::Ident if t.text == "macro_rules" => {
+                // `macro_rules! name { ... }`: the body is matcher/template
+                // soup — `fn` fragments in there are patterns, not
+                // definitions. Skip it wholesale rather than mis-parse.
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                    && toks.get(i + 3).is_some_and(|t| t.is_punct('{'))
+                {
+                    match match_delim(toks, i + 3, '{', '}') {
+                        Some(close) => i = close + 1,
+                        None => i += 1,
+                    }
+                } else {
+                    i += 1;
+                }
+            }
             TokKind::Ident if t.text == "fn" => {
                 let owner = impl_stack.last().map(|(n, _)| n.clone());
                 if let Some((def, next)) = parse_fn(file, toks, i, owner) {
@@ -113,7 +128,7 @@ fn skip_generics(toks: &[Tok], mut i: usize) -> usize {
 
 /// Find the matching close for the opener at `toks[i]` (which must be the
 /// opener). Returns the index of the matching closer.
-fn match_delim(toks: &[Tok], i: usize, open: char, close: char) -> Option<usize> {
+pub(crate) fn match_delim(toks: &[Tok], i: usize, open: char, close: char) -> Option<usize> {
     let mut d = 0i32;
     let mut j = i;
     while j < toks.len() {
@@ -413,5 +428,59 @@ mod tests {
         let f = parse_src("fn run<F: FnOnce() -> R, R>(f: F) -> R where R: Send { f() }");
         assert_eq!(f.fns[0].name, "run");
         assert_eq!(f.fns[0].ret.as_deref(), Some("R"));
+    }
+
+    /// A raw string containing `fn`, braces and a phoney directive is
+    /// opaque text: nothing inside it may become a definition (or a
+    /// suppression).
+    #[test]
+    fn raw_strings_are_opaque_to_the_parser() {
+        let src = r##"
+            fn real(&self) -> u32 {
+                let s = r#"fn fake() { } } { // fgs-lint: allow(lock_order)"#;
+                s.len() as u32
+            }
+            fn after() {}
+        "##;
+        let (toks, dirs) = lex(src);
+        let f = parse("t.rs", &toks);
+        let names: Vec<&str> = f.fns.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["real", "after"], "{names:?}");
+        assert!(dirs.is_empty(), "directive leaked out of a raw string");
+    }
+
+    /// Nested generics in turbofish position: the `<` runs must not eat
+    /// the call that follows, and the fn's own signature stays intact.
+    #[test]
+    fn nested_turbofish_generics_do_not_derail_parsing() {
+        let f = parse_src(
+            "impl Cache {\n fn load(&self, m: &HashMap<PageId, Vec<Obj>>) -> usize {\n\
+             let v = m.values().collect::<Vec<Vec<Obj>>>();\n\
+             Iterator::sum::<usize>(v.iter().map(Vec::len))\n }\n\
+             fn next(&self) -> PageId { PageId(0) }\n}",
+        );
+        let names: Vec<&str> = f.fns.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["load", "next"], "{names:?}");
+        // The hint is the innermost (last) uppercase ident, per type_hint.
+        assert_eq!(f.fns[0].params["m"], "Obj");
+        assert_eq!(f.fns[1].ret.as_deref(), Some("PageId"));
+    }
+
+    /// `macro_rules!` bodies are matcher/template fragments: a `fn`
+    /// inside one is a pattern, not a definition, and the impl scope
+    /// around the macro must survive it.
+    #[test]
+    fn macro_rules_bodies_are_skipped() {
+        let f = parse_src(
+            "impl Srv {\n\
+             macro_rules! forward {\n\
+                 ($name:ident) => { fn $name(&self) { self.inner.$name() } };\n\
+                 (fn $n:ident) => {};\n\
+             }\n\
+             fn real(&self) {}\n}",
+        );
+        let names: Vec<&str> = f.fns.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["real"], "{names:?}");
+        assert_eq!(f.fns[0].owner.as_deref(), Some("Srv"));
     }
 }

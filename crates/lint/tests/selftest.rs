@@ -81,11 +81,105 @@ fn allowed_fixture_is_fully_suppressed() {
     assert!(v.is_empty(), "escape hatches failed: {v:?}");
 }
 
-/// Seeding an inversion *into the real workspace sources* is caught: this
-/// proves the cross-file effect propagation works on the actual crates,
-/// not just on self-contained fixtures.
 #[test]
-fn seeded_inversion_against_real_workspace_sources() {
+fn handler_wildcard_fixture_flags_missing_variants_and_the_wildcard() {
+    let v = lint_fixture("handler_wildcard.rs");
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v.iter().all(|x| x.rule == Rule::HandlerExhaustiveness));
+    // The three dropped Request variants are listed at the handler...
+    assert!(
+        v.iter().any(|x| {
+            x.message.contains("CallbackReply")
+                && x.message.contains("DeescalateReply")
+                && x.message.contains("Abort")
+        }),
+        "{v:?}"
+    );
+    // ...and the `_` arm hiding them is flagged at its own line.
+    assert!(v.iter().any(|x| x.message.contains("wildcard")), "{v:?}");
+}
+
+#[test]
+fn illegal_send_fixture_flags_origins_roles_and_terminal_ordering() {
+    let v = lint_fixture("illegal_send.rs");
+    assert!(v.iter().all(|x| x.rule == Rule::IllegalTransition), "{v:?}");
+    assert_eq!(v.len(), 7, "{v:?}");
+    // Origin misses: the two forged acks plus the grant-after-abort (the
+    // `Aborted` in `abort_txn` is itself a modeled origin and passes).
+    assert_eq!(
+        v.iter()
+            .filter(|x| x.message.contains("outside its modeled origin"))
+            .count(),
+        3,
+        "{v:?}"
+    );
+    // Role: both direct forgeries plus the transitive one through `forge`.
+    let roles: Vec<_> = v
+        .iter()
+        .filter(|x| x.message.contains("wrong direction"))
+        .collect();
+    assert_eq!(roles.len(), 3, "{v:?}");
+    assert!(
+        roles
+            .iter()
+            .any(|x| x.message.contains("relay") && x.message.contains("forge")),
+        "transitive send not traced through the helper: {roles:?}"
+    );
+    // Terminal ordering: ReadGranted to `txn` after Aborted finished it.
+    assert!(
+        v.iter()
+            .any(|x| x.message.contains("after a terminal message")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn panic_under_protocol_fixture_flags_guarded_sites_only() {
+    let v = lint_fixture("panic_under_protocol.rs");
+    assert_eq!(v.len(), 3, "{v:?}");
+    assert!(v.iter().all(|x| x.rule == Rule::PanicUnderProtocol));
+    assert!(v.iter().any(|x| x.message.contains("`unwrap`")), "{v:?}");
+    assert!(v.iter().any(|x| x.message.contains("`panic!`")), "{v:?}");
+    assert!(v.iter().any(|x| x.message.contains("`sleep`")), "{v:?}");
+}
+
+#[test]
+fn determinism_fixture_is_scoped_to_sim_run_paths() {
+    // From the fixtures directory the file is out of scope: clean.
+    let direct = lint_fixture("determinism.rs");
+    assert!(direct.is_empty(), "{direct:?}");
+    // The same source under a simkernel path is a run path: flagged.
+    let src = std::fs::read_to_string(fixture("determinism.rs")).expect("fixture readable");
+    let v = check_sources(&[("crates/simkernel/src/determinism.rs".to_string(), src)]);
+    assert_eq!(v.len(), 3, "{v:?}");
+    assert!(v.iter().all(|x| x.rule == Rule::Determinism));
+    assert!(
+        v.iter().any(|x| x.message.contains("Instant::now")),
+        "{v:?}"
+    );
+    assert!(v.iter().any(|x| x.message.contains("SystemTime")), "{v:?}");
+    assert!(v.iter().any(|x| x.message.contains("thread_rng")), "{v:?}");
+    // The `#[cfg(test)]` module's wall-clock read is exempt.
+    assert!(v.iter().all(|x| x.line < 22), "{v:?}");
+}
+
+#[test]
+fn unused_allow_fixture_flags_both_stale_escape_hatches() {
+    let v = lint_fixture("unused_allow.rs");
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v.iter().all(|x| x.rule == Rule::UnusedAllow));
+    assert!(
+        v.iter().any(|x| x.message.contains("fgs-lint: allow")),
+        "{v:?}"
+    );
+    assert!(
+        v.iter().any(|x| x.message.contains("allow_lock_order")),
+        "{v:?}"
+    );
+}
+
+/// Load every real workspace source for the seeded-violation tests below.
+fn workspace_sources() -> Vec<(String, String)> {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
     let files = fgs_lint::workspace_files(&root).expect("workspace scan");
     assert!(
@@ -93,7 +187,7 @@ fn seeded_inversion_against_real_workspace_sources() {
         "workspace scan looks wrong: {} files",
         files.len()
     );
-    let mut sources: Vec<(String, String)> = files
+    files
         .iter()
         .map(|p| {
             (
@@ -101,8 +195,25 @@ fn seeded_inversion_against_real_workspace_sources() {
                 std::fs::read_to_string(p).expect("readable"),
             )
         })
-        .collect();
-    // Sanity: the real workspace is clean before seeding.
+        .collect()
+}
+
+fn seed_into(sources: &mut [(String, String)], suffix: &str, extra: &str) {
+    let (_, src) = sources
+        .iter_mut()
+        .find(|(p, _)| p.ends_with(suffix))
+        .unwrap_or_else(|| panic!("no workspace source matching {suffix}"));
+    src.push_str(extra);
+}
+
+/// Seeding an inversion *into the real workspace sources* is caught: this
+/// proves the cross-file effect propagation works on the actual crates,
+/// not just on self-contained fixtures.
+#[test]
+fn seeded_inversion_against_real_workspace_sources() {
+    let mut sources = workspace_sources();
+    // Sanity: the real workspace is clean before seeding — across all
+    // passes, with zero unused escape hatches.
     let pre = check_sources(&sources);
     assert!(pre.is_empty(), "workspace not clean: {pre:?}");
     // Seed: hold the WAL lock while calling BufferPool::stats, which
@@ -131,6 +242,93 @@ fn seeded_inversion_against_real_workspace_sources() {
                 && v.message.contains("WalInner")
         }),
         "seeded inversion not caught: {post:?}"
+    );
+}
+
+/// Dropping a dispatch arm from the real server engine's `handle` is
+/// caught by the exhaustiveness pass — the scenario the protocol model
+/// exists for: a new (or deleted) wire variant silently not dispatched.
+#[test]
+fn seeded_dropped_request_arm_in_real_engine_is_caught() {
+    let mut sources = workspace_sources();
+    let (_, src) = sources
+        .iter_mut()
+        .find(|(p, _)| p.ends_with("core/src/server/engine.rs"))
+        .expect("engine source");
+    let arm = "Request::Abort { txn } => self.handle_client_abort(from, txn),";
+    assert!(src.contains(arm), "dispatch arm moved; update this test");
+    *src = src.replacen(arm, "", 1);
+    let post = check_sources(&sources);
+    assert!(
+        post.iter().any(|v| {
+            v.rule == Rule::HandlerExhaustiveness
+                && v.file.ends_with("engine.rs")
+                && v.message.contains("Abort")
+        }),
+        "dropped arm not caught: {post:?}"
+    );
+}
+
+/// A rogue `CommitDone` constructed outside `handle_commit` — an ack for
+/// a commit that never ran — is caught by the origin table.
+#[test]
+fn seeded_illegal_send_in_real_engine_is_caught() {
+    let mut sources = workspace_sources();
+    seed_into(
+        &mut sources,
+        "core/src/server/engine.rs",
+        "\nimpl ServerEngine {\n    fn rogue_ack(&mut self, from: ClientId, txn: TxnId) {\n        self.send(from, ServerMsg::CommitDone { txn });\n    }\n}\n",
+    );
+    let post = check_sources(&sources);
+    assert!(
+        post.iter().any(|v| {
+            v.rule == Rule::IllegalTransition
+                && v.message.contains("ServerMsg::CommitDone")
+                && v.message.contains("rogue_ack")
+        }),
+        "rogue send not caught: {post:?}"
+    );
+}
+
+/// An `unwrap` while holding the real `ServerRuntime::protocol` stage —
+/// resolved through the actual struct field, not a fixture — is caught.
+#[test]
+fn seeded_panic_under_real_protocol_stage_is_caught() {
+    let mut sources = workspace_sources();
+    seed_into(
+        &mut sources,
+        "oodb/src/server.rs",
+        "\nimpl ServerRuntime {\n    fn rogue_block(&self, x: Option<u64>) -> u64 {\n        let g = self.protocol.lock();\n        let v = x.unwrap();\n        drop(g);\n        v\n    }\n}\n",
+    );
+    let post = check_sources(&sources);
+    assert!(
+        post.iter().any(|v| {
+            v.rule == Rule::PanicUnderProtocol
+                && v.file.ends_with("oodb/src/server.rs")
+                && v.message.contains("`unwrap`")
+        }),
+        "guarded unwrap not caught: {post:?}"
+    );
+}
+
+/// A wall-clock read added to the real simkernel crate is caught by the
+/// determinism pass (path-scoped to the simulator run paths).
+#[test]
+fn seeded_wall_clock_in_real_simkernel_is_caught() {
+    let mut sources = workspace_sources();
+    seed_into(
+        &mut sources,
+        "simkernel/src/lib.rs",
+        "\nfn rogue_clock_probe() -> u128 {\n    let t = Instant::now();\n    t.elapsed().as_nanos()\n}\n",
+    );
+    let post = check_sources(&sources);
+    assert!(
+        post.iter().any(|v| {
+            v.rule == Rule::Determinism
+                && v.file.ends_with("simkernel/src/lib.rs")
+                && v.message.contains("Instant::now")
+        }),
+        "wall-clock read not caught: {post:?}"
     );
 }
 

@@ -257,7 +257,14 @@ impl ClientRuntime {
                 }
                 DataGrant::None => {}
             },
-            _ => {}
+            // Control messages carry no payload; spelled out so a new
+            // data-bearing ServerMsg variant cannot silently skip the
+            // install stage (fgs-lint handler_exhaustiveness).
+            ServerMsg::Callback { .. }
+            | ServerMsg::Deescalate { .. }
+            | ServerMsg::Aborted { .. }
+            | ServerMsg::CommitDone { .. }
+            | ServerMsg::AbortDone { .. } => {}
         }
         let outcome = self.engine.handle_server(env.msg);
         self.handle_actions(outcome.actions);

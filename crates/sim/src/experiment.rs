@@ -65,7 +65,6 @@ pub fn sweep_probs(
 
 /// Like [`sweep_probs`] with an explicit worker count. `workers == 1`
 /// runs sequentially; any count produces bit-identical figures.
-#[allow(clippy::too_many_arguments)]
 pub fn sweep_probs_workers(
     id: &str,
     title: &str,

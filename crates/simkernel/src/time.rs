@@ -59,7 +59,6 @@ impl SimTime {
 
 impl Eq for SimTime {}
 
-#[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for SimTime {
     #[inline]
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
@@ -104,7 +103,6 @@ impl Duration {
 
 impl Eq for Duration {}
 
-#[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for Duration {
     #[inline]
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
