@@ -1,0 +1,91 @@
+//! Regression gate over `BENCH_server.json`: compares a freshly measured
+//! server-throughput report against the committed baseline and fails
+//! (exit 1) when the sentinel point — 8 clients, PS, channel transport —
+//! regresses by more than the allowed fraction.
+//!
+//! ```sh
+//! cargo run --release -p fgs-bench --bin bench_gate -- \
+//!     BENCH_server.json bench-out/BENCH_server.json
+//! ```
+//!
+//! The sentinel is the point batched dispatch and the adaptive gather
+//! window were built for: enough concurrency to exercise group commit
+//! and lock batching, small enough to run in a CI smoke lane. Only
+//! `commits_per_s` is compared, and only downward moves fail — the gate
+//! exists to catch "the fast path quietly fell off", not to freeze the
+//! exact number. The threshold is deliberately loose (30%) because CI
+//! runners are noisy; the bench's own median-of-reps keeps single-shot
+//! outliers out of the comparison.
+//!
+//! Both files are parsed leniently (unknown fields ignored), so the gate
+//! keeps working when the report schema grows fields the committed
+//! baseline predates.
+
+use serde::Deserialize;
+use std::process::ExitCode;
+
+/// Maximum tolerated drop of the sentinel point, as a fraction.
+const MAX_REGRESSION: f64 = 0.30;
+
+#[derive(Deserialize)]
+struct Report {
+    points: Vec<Point>,
+}
+
+#[derive(Deserialize)]
+struct Point {
+    protocol: String,
+    transport: String,
+    clients: u64,
+    commits_per_s: f64,
+}
+
+fn sentinel(report: &Report) -> Option<f64> {
+    report
+        .points
+        .iter()
+        .find(|p| p.protocol == "PS" && p.transport == "channel" && p.clients == 8)
+        .map(|p| p.commits_per_s)
+}
+
+fn load(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (baseline_path, current_path) = match (args.next(), args.next()) {
+        (Some(b), Some(c)) => (b, c),
+        _ => {
+            eprintln!("usage: bench_gate <baseline.json> <current.json>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Some(base), Some(cur)) = (sentinel(&baseline), sentinel(&current)) else {
+        eprintln!("bench_gate: sentinel point (PS/channel/8 clients) missing from a report");
+        return ExitCode::FAILURE;
+    };
+    let floor = base * (1.0 - MAX_REGRESSION);
+    println!(
+        "bench_gate: PS/channel/8 clients: baseline {base:.0} commits/s, \
+         current {cur:.0} commits/s, floor {floor:.0}"
+    );
+    if cur < floor {
+        eprintln!(
+            "bench_gate: FAIL — sentinel regressed {:.1}% (> {:.0}% allowed)",
+            (1.0 - cur / base) * 100.0,
+            MAX_REGRESSION * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: OK");
+    ExitCode::SUCCESS
+}

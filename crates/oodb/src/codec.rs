@@ -134,6 +134,15 @@ pub enum Frame {
 /// Encodes `frame` with its length prefix, ready to write to a stream.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
+    encode_frame_into(&mut out, frame);
+    out
+}
+
+/// Appends `frame` (length prefix included) to `out`. The scratch-buffer
+/// form of [`encode_frame`]: callers batching several frames reuse one
+/// allocation across all of them.
+pub fn encode_frame_into(out: &mut Vec<u8>, frame: &Frame) {
+    let start = out.len();
     out.extend_from_slice(&[0, 0, 0, 0]); // length prefix, patched below
     match frame {
         Frame::Hello {
@@ -143,12 +152,12 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         } => {
             out.push(KIND_HELLO);
             out.extend_from_slice(&MAGIC);
-            put_varint(&mut out, u64::from(*min_version));
-            put_varint(&mut out, u64::from(*max_version));
+            put_varint(out, u64::from(*min_version));
+            put_varint(out, u64::from(*max_version));
             match client {
                 Some(id) => {
                     out.push(1);
-                    put_varint(&mut out, u64::from(*id));
+                    put_varint(out, u64::from(*id));
                 }
                 None => out.push(0),
             }
@@ -163,17 +172,17 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             first_txn_seq,
         } => {
             out.push(KIND_WELCOME);
-            put_varint(&mut out, u64::from(*version));
-            put_varint(&mut out, u64::from(*client));
-            put_protocol(&mut out, *protocol);
-            put_varint(&mut out, u64::from(*objects_per_page));
-            put_varint(&mut out, u64::from(*page_size));
-            put_varint(&mut out, u64::from(*client_cache_pages));
-            put_varint(&mut out, *first_txn_seq);
+            put_varint(out, u64::from(*version));
+            put_varint(out, u64::from(*client));
+            put_protocol(out, *protocol);
+            put_varint(out, u64::from(*objects_per_page));
+            put_varint(out, u64::from(*page_size));
+            put_varint(out, u64::from(*client_cache_pages));
+            put_varint(out, *first_txn_seq);
         }
         Frame::Reject { reason } => {
             out.push(KIND_REJECT);
-            put_bytes(&mut out, reason.as_bytes());
+            put_bytes(out, reason.as_bytes());
         }
         Frame::Request {
             from,
@@ -181,12 +190,12 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             commit_data,
         } => {
             out.push(KIND_REQUEST);
-            put_varint(&mut out, u64::from(from.0));
-            put_request(&mut out, req);
-            put_varint(&mut out, commit_data.len() as u64);
+            put_varint(out, u64::from(from.0));
+            put_request(out, req);
+            put_varint(out, commit_data.len() as u64);
             for (oid, bytes) in commit_data {
-                put_oid(&mut out, *oid);
-                put_bytes(&mut out, bytes);
+                put_oid(out, *oid);
+                put_bytes(out, bytes);
             }
         }
         Frame::Server {
@@ -195,22 +204,141 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             object_bytes,
         } => {
             out.push(KIND_SERVER);
-            put_server_msg(&mut out, msg);
+            put_server_msg(out, msg);
             let flags = u8::from(page_image.is_some()) | (u8::from(object_bytes.is_some()) << 1);
             out.push(flags);
             if let Some(image) = page_image {
-                put_bytes(&mut out, image);
+                put_bytes(out, image);
             }
             if let Some(bytes) = object_bytes {
-                put_bytes(&mut out, bytes);
+                put_bytes(out, bytes);
             }
         }
         Frame::Bye => out.push(KIND_BYE),
     }
-    let len = (out.len() - 4) as u32;
+    let len = (out.len() - start - 4) as u32;
     debug_assert!(len <= MAX_FRAME, "frame exceeds MAX_FRAME");
-    out[..4].copy_from_slice(&len.to_le_bytes());
-    out
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// A batch of frames encoded for coalesced, zero-copy transmission.
+///
+/// Headers, protocol messages and control frames are serialized into one
+/// reusable scratch buffer; [`Frame::Server`] payload *bodies* (page
+/// images, object bytes) are never copied — the encoder records a
+/// borrowed [`SharedBytes`] segment where each body belongs, so a
+/// transport can emit the whole batch as a vectored write straight out
+/// of the store's shared buffers. The byte stream produced is exactly
+/// the concatenation of [`encode_frame`] over the same frames (a
+/// property test in `codec_props` holds the two encoders together).
+#[derive(Default)]
+pub struct BatchEncoder {
+    /// Everything except `Frame::Server` payload bodies.
+    scratch: Vec<u8>,
+    /// The output stream, in order: ranges of `scratch` interleaved with
+    /// borrowed payload bodies.
+    parts: Vec<Part>,
+    /// Start of the scratch chunk not yet closed into `parts`.
+    open: usize,
+}
+
+/// One segment of the encoded output stream.
+enum Part {
+    /// `scratch[range]` — frame headers, messages, control frames.
+    Scratch(std::ops::Range<usize>),
+    /// A payload body, borrowed from the store/attach stage.
+    Shared(SharedBytes),
+}
+
+impl BatchEncoder {
+    /// A fresh encoder (empty scratch buffer).
+    pub fn new() -> BatchEncoder {
+        BatchEncoder::default()
+    }
+
+    /// Resets for a new batch, keeping the scratch allocation.
+    pub fn clear(&mut self) {
+        self.scratch.clear();
+        self.parts.clear();
+        self.open = 0;
+    }
+
+    /// Closes the currently open scratch chunk into the part list.
+    fn close_chunk(&mut self) {
+        if self.open < self.scratch.len() {
+            self.parts
+                .push(Part::Scratch(self.open..self.scratch.len()));
+        }
+        self.open = self.scratch.len();
+    }
+
+    /// Appends one frame to the batch. `Frame::Server` payload bodies are
+    /// recorded as borrowed segments; everything else lands in scratch.
+    pub fn push_frame(&mut self, frame: &Frame) {
+        match frame {
+            Frame::Server {
+                msg,
+                page_image,
+                object_bytes,
+            } => {
+                let start = self.scratch.len();
+                self.scratch.extend_from_slice(&[0, 0, 0, 0]); // patched below
+                self.scratch.push(KIND_SERVER);
+                put_server_msg(&mut self.scratch, msg);
+                let flags =
+                    u8::from(page_image.is_some()) | (u8::from(object_bytes.is_some()) << 1);
+                self.scratch.push(flags);
+                let mut body_len = 0usize;
+                for payload in [page_image, object_bytes].into_iter().flatten() {
+                    // The length prefix of the body goes to scratch; the
+                    // body itself is borrowed, not copied.
+                    put_varint(&mut self.scratch, payload.len() as u64);
+                    body_len += payload.len();
+                    self.close_chunk();
+                    self.parts.push(Part::Shared(Arc::clone(payload)));
+                    self.open = self.scratch.len();
+                }
+                let len = (self.scratch.len() - start - 4 + body_len) as u32;
+                debug_assert!(len <= MAX_FRAME, "frame exceeds MAX_FRAME");
+                self.scratch[start..start + 4].copy_from_slice(&len.to_le_bytes());
+            }
+            other => encode_frame_into(&mut self.scratch, other),
+        }
+        self.close_chunk();
+    }
+
+    /// Total encoded bytes across all pushed frames.
+    pub fn total_len(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|p| match p {
+                Part::Scratch(r) => r.len(),
+                Part::Shared(b) => b.len(),
+            })
+            .sum()
+    }
+
+    /// The encoded stream as ordered byte slices, ready for a vectored
+    /// write.
+    pub fn segments(&self) -> Vec<&[u8]> {
+        self.parts
+            .iter()
+            .map(|p| match p {
+                Part::Scratch(r) => &self.scratch[r.clone()],
+                Part::Shared(b) => b.as_slice(),
+            })
+            .collect()
+    }
+
+    /// Flattens the stream into one contiguous buffer (tests and
+    /// transports without a vectored path).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_len());
+        for seg in self.segments() {
+            out.extend_from_slice(seg);
+        }
+        out
+    }
 }
 
 /// Decodes one frame *body* (everything after the length prefix).

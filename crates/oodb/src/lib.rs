@@ -65,6 +65,7 @@ mod wire;
 pub use chaos::ChaosConfig;
 pub use config::EngineConfig;
 pub use error::TxnError;
+pub use fgs_pagestore::StoreStats;
 pub use remote::{serve_tcp, serve_tcp_recover, serve_tcp_with_disk, RemoteClient, ServerHandle};
 pub use session::Session;
 pub use transport::TransportKind;
@@ -79,7 +80,7 @@ use crate::wire::{AppCmd, ClientMsg, ToServer};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fgs_core::server::ServerEngine;
 use fgs_core::{ClientId, ServerStats};
-use fgs_pagestore::{DiskManager, MemDisk, RecoveryReport, Store, StoreStats};
+use fgs_pagestore::{DiskManager, MemDisk, RecoveryReport, Store};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -114,10 +115,11 @@ impl ServerCore {
         let (batch_tx, batch_rx) = unbounded::<SeqBatch>();
         {
             let ports = ports.clone();
+            let metrics = runtime.metrics();
             threads.push(
                 std::thread::Builder::new()
                     .name("fgs-send".into())
-                    .spawn(move || sender_loop(batch_rx, ports))
+                    .spawn(move || sender_loop(batch_rx, ports, metrics))
                     .expect("spawn sender"),
             );
         }

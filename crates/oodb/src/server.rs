@@ -31,13 +31,25 @@ use fgs_core::sync::{Condvar, Mutex};
 use fgs_core::{AbortReason, ClientId, DataGrant, Oid, PageId, Request, ServerMsg, TxnId};
 use fgs_pagestore::{Lsn, Store, StoreStats};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How long a group-commit leader waits for more commits to join its
-/// batch. Only paid when another client committed recently (a solo
-/// commit stream forces immediately).
+/// Hard cap on how many queued messages a worker drains into one batch
+/// (one protocol-lock acquisition, one sequence number, one invariant
+/// sample). Bounds both latency and the size of a `SeqBatch`.
+const DISPATCH_BATCH: usize = 64;
+
+/// Upper bound on how long a group-commit leader waits for more commits
+/// to join its batch. Only paid when another client committed recently
+/// (a solo commit stream forces immediately).
 const GATHER_WINDOW: Duration = Duration::from_micros(500);
+
+/// Adaptive gather step: the leader waits in slices this long and stops
+/// as soon as a whole slice passes with no new commit joining — a burst
+/// is harvested without ever paying the full window for a straggler
+/// that is not coming.
+const GATHER_SLICE: Duration = Duration::from_micros(50);
 
 /// How recent another client's commit must be for the leader to expect
 /// company and gather a batch.
@@ -56,6 +68,111 @@ struct ProtocolStage {
 pub(crate) struct SeqBatch {
     seq: u64,
     msgs: Vec<(ClientId, ToClient)>,
+}
+
+/// A lock-free log₂-bucketed latency histogram (nanosecond samples).
+/// 48 buckets cover ~256 µs per bucket boundary up to minutes; recording
+/// is one relaxed fetch_add, so the hot path pays no synchronization.
+struct LatencyHistogram {
+    buckets: [AtomicU64; 48],
+}
+
+impl LatencyHistogram {
+    fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, ns: u64) {
+        let idx = (64 - ns.max(1).leading_zeros() as usize - 1).min(self.buckets.len() - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn samples(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (0..=1) as microseconds, estimated at the
+    /// geometric midpoint of the winning bucket. Zero with no samples.
+    fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.samples();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Bucket idx holds samples in [2^idx, 2^(idx+1)) ns.
+                let mid_ns = (1u64 << idx) + (1u64 << idx) / 2;
+                return mid_ns / 1_000;
+            }
+        }
+        0
+    }
+}
+
+/// Per-stage timing and batching counters for the server pipeline, all
+/// relaxed atomics (observability only; never ordering-bearing). Merged
+/// into [`StoreStats`] by [`ServerRuntime::store_stats`].
+pub(crate) struct PipelineMetrics {
+    durability_ns: AtomicU64,
+    protocol_ns: AtomicU64,
+    dispatch_ns: AtomicU64,
+    lock_wait_ns: AtomicU64,
+    lock_hold_ns: AtomicU64,
+    lock_acquisitions: AtomicU64,
+    dispatch_batches: AtomicU64,
+    dispatch_batch_msgs: AtomicU64,
+    send_batches: AtomicU64,
+    send_batch_msgs: AtomicU64,
+    commit_latency: LatencyHistogram,
+}
+
+impl PipelineMetrics {
+    fn new() -> PipelineMetrics {
+        PipelineMetrics {
+            durability_ns: AtomicU64::new(0),
+            protocol_ns: AtomicU64::new(0),
+            dispatch_ns: AtomicU64::new(0),
+            lock_wait_ns: AtomicU64::new(0),
+            lock_hold_ns: AtomicU64::new(0),
+            lock_acquisitions: AtomicU64::new(0),
+            dispatch_batches: AtomicU64::new(0),
+            dispatch_batch_msgs: AtomicU64::new(0),
+            send_batches: AtomicU64::new(0),
+            send_batch_msgs: AtomicU64::new(0),
+            commit_latency: LatencyHistogram::new(),
+        }
+    }
+
+    fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_send_batch(&self, msgs: usize) {
+        Self::add(&self.send_batches, 1);
+        Self::add(&self.send_batch_msgs, msgs as u64);
+    }
+
+    /// Copies the pipeline counters into a store snapshot.
+    fn fill(&self, stats: &mut StoreStats) {
+        stats.durability_ns = self.durability_ns.load(Ordering::Relaxed);
+        stats.protocol_ns = self.protocol_ns.load(Ordering::Relaxed);
+        stats.dispatch_ns = self.dispatch_ns.load(Ordering::Relaxed);
+        stats.lock_wait_ns = self.lock_wait_ns.load(Ordering::Relaxed);
+        stats.lock_hold_ns = self.lock_hold_ns.load(Ordering::Relaxed);
+        stats.lock_acquisitions = self.lock_acquisitions.load(Ordering::Relaxed);
+        stats.dispatch_batches = self.dispatch_batches.load(Ordering::Relaxed);
+        stats.dispatch_batch_msgs = self.dispatch_batch_msgs.load(Ordering::Relaxed);
+        stats.send_batches = self.send_batches.load(Ordering::Relaxed);
+        stats.send_batch_msgs = self.send_batch_msgs.load(Ordering::Relaxed);
+        stats.commit_p50_us = self.commit_latency.quantile_us(0.50);
+        stats.commit_p99_us = self.commit_latency.quantile_us(0.99);
+        stats.commit_latency_samples = self.commit_latency.samples();
+    }
 }
 
 /// Group commit: concurrently arriving commits elect a leader that
@@ -89,26 +206,49 @@ impl GroupCommit {
     }
 
     /// Makes the commit record at `lsn` durable, coalescing with every
-    /// other commit waiting here: one member becomes the leader, gathers
-    /// up to `batch` pending commits, and issues a single physical force
-    /// for all of them. Returns once `lsn` is durable.
+    /// other commit waiting here. See [`GroupCommit::force_many`].
+    /// Production batches go through `force_many` directly; the loom
+    /// model drives this single-lsn wrapper.
+    #[cfg_attr(not(loom), allow(dead_code))]
     fn force(&self, store: &Store, lsn: Lsn, from: ClientId) {
+        self.force_many(store, &[lsn], from);
+    }
+
+    /// Makes every commit record in `lsns` durable (one worker's inbound
+    /// batch commits together), coalescing with every other commit
+    /// waiting here: one member becomes the leader, gathers pending
+    /// commits up to the batch target, and issues a single physical
+    /// force for all of them. Returns once all of `lsns` are durable.
+    ///
+    /// The gather wait is adaptive: the leader sleeps in
+    /// [`GATHER_SLICE`]-long steps and forces as soon as a whole slice
+    /// passes with no new commit joining, so a burst is harvested
+    /// without paying the full [`GATHER_WINDOW`] for company that is
+    /// not coming.
+    fn force_many(&self, store: &Store, lsns: &[Lsn], from: ClientId) {
+        let max = *lsns.iter().max().expect("at least one commit lsn");
         let mut g = self.state.lock();
         let concurrent = self.batch > 1
             && g.last_commit
                 .is_some_and(|(c, t)| c != from && t.elapsed() < CONCURRENT_WINDOW);
         g.last_commit = Some((from, Instant::now()));
-        g.pending.push(lsn);
+        g.pending.extend_from_slice(lsns);
         self.cv.notify_all();
         loop {
-            if store.wal().flushed() > lsn {
-                // Covered by someone else's force. If a leader drained us
-                // into its batch we are already accounted; otherwise
-                // account a batch-of-one piggyback.
-                if let Some(i) = g.pending.iter().position(|&l| l == lsn) {
-                    g.pending.swap_remove(i);
+            if store.wal().flushed() > max {
+                // Covered by someone else's force. A leader drains the
+                // whole pending list, so either all of ours were drained
+                // (and accounted by that leader) or none were; account
+                // the leftover piggybackers ourselves.
+                let mut ours = 0u64;
+                g.pending.retain(|l| {
+                    let mine = lsns.contains(l);
+                    ours += u64::from(mine);
+                    !mine
+                });
+                if ours > 0 {
                     drop(g);
-                    store.force_commits(lsn, 1);
+                    store.force_commits(max, ours);
                 }
                 return;
             }
@@ -119,21 +259,26 @@ impl GroupCommit {
                     // trade a bounded wait for a batched force.
                     let deadline = Instant::now() + GATHER_WINDOW;
                     while g.pending.len() < self.batch {
+                        let before = g.pending.len();
                         let now = Instant::now();
-                        if now >= deadline || self.cv.wait_for(&mut g, deadline - now) {
+                        if now >= deadline {
                             break; // window exhausted; force what we have
+                        }
+                        let timed_out = self.cv.wait_for(&mut g, GATHER_SLICE.min(deadline - now));
+                        if timed_out && g.pending.len() == before {
+                            break; // a whole slice with no new company
                         }
                     }
                 }
                 let batch = std::mem::take(&mut g.pending);
                 drop(g);
-                let max = *batch.iter().max().expect("own lsn is pending");
-                store.force_commits(max, batch.len() as u64);
+                let batch_max = *batch.iter().max().expect("own lsns are pending");
+                store.force_commits(batch_max, batch.len() as u64);
                 let mut g = self.state.lock();
                 g.forcing = false;
                 self.cv.notify_all();
-                // Our own LSN was in the drained batch (we pushed it and
-                // only a leader removes entries).
+                // Our own LSNs were in the drained batch (we pushed them
+                // and only a leader removes entries).
                 return;
             }
             self.cv.wait(&mut g);
@@ -147,8 +292,20 @@ pub(crate) struct ServerRuntime {
     protocol: Mutex<ProtocolStage>,
     store: Store,
     gc: GroupCommit,
-    /// Run engine invariant checks after every request even in release.
+    metrics: Arc<PipelineMetrics>,
+    /// Run engine invariant checks after every batch even in release.
     paranoid: bool,
+}
+
+/// One message of an inbound batch after the durability pre-pass: what
+/// the protocol stage should do for it under the (single) lock hold.
+enum Step {
+    /// Run the request through the engine.
+    Handle(ClientId, Request),
+    /// The client's connection died; purge it.
+    Gone(ClientId),
+    /// The commit's install failed; abort the transaction server-side.
+    ServerAbort(TxnId),
 }
 
 impl ServerRuntime {
@@ -165,6 +322,7 @@ impl ServerRuntime {
             }),
             store,
             gc: GroupCommit::new(group_commit_batch),
+            metrics: Arc::new(PipelineMetrics::new()),
             paranoid,
         }
     }
@@ -183,87 +341,178 @@ impl ServerRuntime {
         &self.store
     }
 
+    pub(crate) fn metrics(&self) -> Arc<PipelineMetrics> {
+        self.metrics.clone()
+    }
+
+    /// Durability counters plus the pipeline's timing/batching counters.
     pub(crate) fn store_stats(&self) -> StoreStats {
-        self.store.stats()
+        let mut stats = self.store.stats();
+        self.metrics.fill(&mut stats);
+        stats
     }
 
     // -- the request pipeline -----------------------------------------
 
     /// One worker's loop: requests from this worker's client shard, in
     /// order, until shutdown.
+    ///
+    /// The worker drains everything already queued (bounded by
+    /// [`DISPATCH_BATCH`]) into one batch per iteration: the whole batch
+    /// shares one durability force, one protocol-lock acquisition, one
+    /// sequence number and one invariant sample. Per-connection FIFO is
+    /// preserved — a shard owns its clients, drain order is queue order,
+    /// and the protocol stage replays that order under the lock.
     pub(crate) fn worker_loop(&self, rx: Receiver<ToServer>, out: Sender<SeqBatch>) {
+        let mut batch: Vec<ToServer> = Vec::with_capacity(DISPATCH_BATCH);
         while let Ok(env) = rx.recv() {
+            batch.push(env);
+            while batch.len() < DISPATCH_BATCH {
+                match rx.try_recv() {
+                    Ok(env) => batch.push(env),
+                    Err(_) => break,
+                }
+            }
+            // Process everything queued ahead of a shutdown notice, then
+            // stop (messages behind it would have been dropped by the
+            // old one-at-a-time loop too).
+            let stop = match batch.iter().position(|e| matches!(e, ToServer::Shutdown)) {
+                Some(pos) => {
+                    batch.truncate(pos);
+                    true
+                }
+                None => false,
+            };
+            if !batch.is_empty() {
+                self.handle_batch(&mut batch, &out);
+            }
+            if stop {
+                break;
+            }
+        }
+    }
+
+    /// Runs one drained inbound batch through the three pipeline stages.
+    ///
+    /// Durability first: every commit's updates are installed and all
+    /// their log records forced (one coalesced force for the whole
+    /// batch) *before* the engine releases any lock — the transactions'
+    /// own write locks keep the installed values invisible until the
+    /// protocol stage below releases them. Then the protocol stage
+    /// replays the batch in arrival order under a single lock hold, and
+    /// the dispatch stage attaches payloads outside it.
+    fn handle_batch(&self, batch: &mut Vec<ToServer>, out: &Sender<SeqBatch>) {
+        let t_start = Instant::now();
+        PipelineMetrics::add(&self.metrics.dispatch_batches, 1);
+        PipelineMetrics::add(&self.metrics.dispatch_batch_msgs, batch.len() as u64);
+
+        // Durability stage.
+        let mut steps: Vec<Step> = Vec::with_capacity(batch.len());
+        let mut commit_lsns: Vec<Lsn> = Vec::new();
+        let mut committer: Option<ClientId> = None;
+        let mut commits = 0u64;
+        for env in batch.drain(..) {
             match env {
-                ToServer::Shutdown => break,
+                // Cut in `worker_loop`; nothing to do if one slips past.
+                ToServer::Shutdown => {}
+                ToServer::Disconnect { from } => steps.push(Step::Gone(from)),
                 ToServer::Req {
                     from,
                     req,
                     commit_data,
-                } => self.handle_request(from, req, commit_data, &out),
-                ToServer::Disconnect { from } => self.handle_disconnect(from, &out),
-            }
-        }
-    }
-
-    /// A client's connection died: the engine purges its copies, aborts
-    /// its live transactions, and completes callbacks it was blocking —
-    /// through the same dispatch path, so grants unblocked by the
-    /// departure are attached and delivered normally.
-    fn handle_disconnect(&self, from: ClientId, out: &Sender<SeqBatch>) {
-        let (outcome, seq) = {
-            let mut g = self.protocol.lock();
-            let outcome = g.engine.client_gone(from);
-            self.maybe_check(&g.engine);
-            let seq = g.next_seq;
-            g.next_seq += 1;
-            (outcome, seq)
-        };
-        self.dispatch(outcome.actions, seq, out);
-    }
-
-    fn handle_request(
-        &self,
-        from: ClientId,
-        req: Request,
-        commit_data: Vec<(fgs_core::Oid, Vec<u8>)>,
-        out: &Sender<SeqBatch>,
-    ) {
-        // Durability stage: a commit's updates are installed and its log
-        // records forced *before* the engine releases its locks. The
-        // engine lock is NOT held here — the transaction's own write
-        // locks keep the installed values invisible until the protocol
-        // stage below releases them.
-        if let Request::Commit { txn, .. } = &req {
-            if !commit_data.is_empty() {
-                if let Err(e) = self.install_commit(from, *txn, &commit_data) {
-                    eprintln!("fgs-server: commit install for {txn} failed: {e}; aborting");
-                    self.abort_server_side(*txn, out);
-                    return;
+                } => {
+                    if let Request::Commit { txn, .. } = &req {
+                        commits += 1;
+                        // Read-only commits (no shipped data) have
+                        // nothing to install or force.
+                        if !commit_data.is_empty() {
+                            match self.install_commit_data(*txn, &commit_data) {
+                                Ok(lsn) => {
+                                    commit_lsns.push(lsn);
+                                    committer.get_or_insert(from);
+                                }
+                                Err(e) => {
+                                    eprintln!(
+                                        "fgs-server: commit install for {txn} failed: {e}; \
+                                         aborting"
+                                    );
+                                    commits -= 1; // not a commit any more
+                                    steps.push(Step::ServerAbort(*txn));
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    steps.push(Step::Handle(from, req));
                 }
             }
-            // Read-only commits (no shipped data) have nothing to force.
         }
-        // Protocol stage: the in-memory state transition, single-writer.
-        let (outcome, seq) = {
+        if let Some(from) = committer {
+            self.gc.force_many(&self.store, &commit_lsns, from);
+        }
+        let t_durable = Instant::now();
+
+        // Protocol stage: the in-memory state transitions, single-writer,
+        // one lock acquisition for the whole batch.
+        let (actions, seq) = {
             let mut g = self.protocol.lock();
-            let outcome = g.engine.handle(from, req);
+            let t_locked = Instant::now();
+            let mut actions: Vec<ServerAction> = Vec::new();
+            for step in steps {
+                let outcome = match step {
+                    Step::Handle(from, req) => g.engine.handle(from, req),
+                    Step::Gone(from) => g.engine.client_gone(from),
+                    Step::ServerAbort(txn) => g.engine.abort_txn(txn, AbortReason::Server),
+                };
+                actions.extend(outcome.actions);
+            }
             self.maybe_check(&g.engine);
             let seq = g.next_seq;
             g.next_seq += 1;
-            (outcome, seq)
+            let t_unlocked = Instant::now();
+            PipelineMetrics::add(&self.metrics.lock_acquisitions, 1);
+            PipelineMetrics::add(
+                &self.metrics.lock_wait_ns,
+                (t_locked - t_durable).as_nanos() as u64,
+            );
+            PipelineMetrics::add(
+                &self.metrics.lock_hold_ns,
+                (t_unlocked - t_locked).as_nanos() as u64,
+            );
+            (actions, seq)
         };
-        self.dispatch(outcome.actions, seq, out);
+        let t_protocol = Instant::now();
+
+        // Dispatch stage: attach payloads outside the lock, hand off.
+        self.dispatch(actions, seq, out);
+
+        let t_done = Instant::now();
+        PipelineMetrics::add(
+            &self.metrics.durability_ns,
+            (t_durable - t_start).as_nanos() as u64,
+        );
+        PipelineMetrics::add(
+            &self.metrics.protocol_ns,
+            (t_protocol - t_durable).as_nanos() as u64,
+        );
+        PipelineMetrics::add(
+            &self.metrics.dispatch_ns,
+            (t_done - t_protocol).as_nanos() as u64,
+        );
+        let batch_ns = (t_done - t_start).as_nanos() as u64;
+        for _ in 0..commits {
+            self.metrics.commit_latency.record(batch_ns);
+        }
     }
 
-    /// Installs a commit's dirty objects and forces its commit record
-    /// (coalescing with concurrent commits). On an install error the
-    /// store-side updates are rolled back.
-    fn install_commit(
+    /// Installs a commit's dirty objects and appends its commit record,
+    /// returning the LSN the batch force must cover. On an install error
+    /// the store-side updates are rolled back.
+    fn install_commit_data(
         &self,
-        from: ClientId,
         txn: TxnId,
         commit_data: &[(fgs_core::Oid, Vec<u8>)],
-    ) -> std::io::Result<()> {
+    ) -> std::io::Result<Lsn> {
         self.store.begin(txn);
         for (oid, bytes) in commit_data {
             if let Err(e) = retry_io(|| self.store.update_object(txn, *oid, bytes)) {
@@ -273,24 +522,7 @@ impl ServerRuntime {
                 return Err(e);
             }
         }
-        let lsn = self.store.append_commit(txn);
-        self.gc.force(&self.store, lsn, from);
-        Ok(())
-    }
-
-    /// Aborts `txn` server-side (storage failure) and sends the resulting
-    /// messages. Runs the same dispatch path, so grants unblocked by the
-    /// abort are attached and delivered normally.
-    fn abort_server_side(&self, txn: TxnId, out: &Sender<SeqBatch>) {
-        let (outcome, seq) = {
-            let mut g = self.protocol.lock();
-            let outcome = g.engine.abort_txn(txn, AbortReason::Server);
-            self.maybe_check(&g.engine);
-            let seq = g.next_seq;
-            g.next_seq += 1;
-            (outcome, seq)
-        };
-        self.dispatch(outcome.actions, seq, out);
+        Ok(self.store.append_commit(txn))
     }
 
     /// Attach + hand-off stage: copies data payloads out of the store
@@ -426,15 +658,37 @@ fn retry_io<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T>
 /// produced them. Ports resolve per delivery through the
 /// [`PortMap`](crate::transport::PortMap), so TCP clients may come and
 /// go without the pipeline noticing.
-pub(crate) fn sender_loop(rx: Receiver<SeqBatch>, ports: Arc<crate::transport::PortMap>) {
+///
+/// A batch's envelopes are grouped per destination client (each client's
+/// relative order preserved — a client never observes another client's
+/// messages, so cross-client interleaving within one sequence number is
+/// unobservable) and delivered with one
+/// [`deliver_batch`](crate::transport::ClientPort::deliver_batch) call
+/// per client: one port lookup and, on TCP, one coalesced vectored
+/// socket write per client per batch.
+pub(crate) fn sender_loop(
+    rx: Receiver<SeqBatch>,
+    ports: Arc<crate::transport::PortMap>,
+    metrics: Arc<PipelineMetrics>,
+) {
     let mut next: u64 = 0;
     let mut held: HashMap<u64, Vec<(ClientId, ToClient)>> = HashMap::new();
     let deliver = |msgs: Vec<(ClientId, ToClient)>| {
+        // Group per client, preserving each client's envelope order.
+        // Linear scan: a batch rarely addresses more than a few clients.
+        let mut groups: Vec<(ClientId, Vec<ToClient>)> = Vec::new();
         for (to, env) in msgs {
+            match groups.iter_mut().find(|(c, _)| *c == to) {
+                Some((_, envs)) => envs.push(env),
+                None => groups.push((to, vec![env])),
+            }
+        }
+        for (to, envs) in groups {
+            metrics.note_send_batch(envs.len());
             // No port, or a dead one, means the client is gone (shutdown
-            // race or dropped connection); drop the message.
+            // race or dropped connection); drop the messages.
             if let Some(port) = ports.lookup_port(to.0) {
-                let _ = port.deliver(env);
+                let _ = port.deliver_batch(envs);
             }
         }
     };

@@ -107,6 +107,17 @@ pub(crate) trait ClientPort: Send + Sync {
     /// stage drops the message — the peer is gone).
     fn deliver(&self, env: ToClient) -> bool;
 
+    /// Delivers a run of envelopes addressed to this client, preserving
+    /// their order; `false` means the port died part-way (remaining
+    /// envelopes are dropped — the peer is gone). The default is one
+    /// [`deliver`](ClientPort::deliver) per envelope; transports with a
+    /// cheaper coalesced path (TCP's single vectored write per batch)
+    /// override it. Fault-injecting wrappers deliberately keep the
+    /// default so the chaos schedule still sees every message.
+    fn deliver_batch(&self, envs: Vec<ToClient>) -> bool {
+        envs.into_iter().all(|env| self.deliver(env))
+    }
+
     /// Tears the port down (shuts the socket; channel ports are dropped).
     fn close(&self);
 }

@@ -18,13 +18,13 @@
 
 use super::{ClientParams, ClientPort, PortMap, RequestSink};
 use crate::chaos::{ChaosConfig, ChaosPort};
-use crate::codec::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use crate::codec::{read_frame, BatchEncoder, Frame, PROTOCOL_VERSION};
 use crate::error::TxnError;
 use crate::wire::{ClientMsg, ToClient, ToServer};
 use crossbeam::channel::Sender;
 use fgs_core::sync::Mutex;
 use fgs_core::{ClientId, Oid, Protocol, Request};
-use std::io;
+use std::io::{self, IoSlice, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -47,6 +47,13 @@ struct ConnWriter {
     /// A failed or timed-out write poisons the connection; later sends
     /// fail fast instead of interleaving bytes into a torn frame.
     dead: bool,
+    /// Reusable batch encoder: frame headers land in its scratch buffer,
+    /// payload bodies stay borrowed from their [`SharedBytes`] Arcs —
+    /// the zero-copy send path (DESIGN.md §15). Living inside the
+    /// `ConnWriter` lock, it needs no synchronization of its own.
+    ///
+    /// [`SharedBytes`]: crate::codec::SharedBytes
+    encoder: BatchEncoder,
 }
 
 /// One side's handle on an established connection: the shared write half.
@@ -61,6 +68,7 @@ impl TcpPeer {
             writer: Mutex::new(ConnWriter {
                 stream,
                 dead: false,
+                encoder: BatchEncoder::new(),
             }),
         }
     }
@@ -68,6 +76,16 @@ impl TcpPeer {
     /// Writes one frame, whole or not at all from this side's view: any
     /// error (including a write timeout) kills the connection.
     fn send_frame(&self, frame: &Frame) -> io::Result<()> {
+        self.send_frames(std::slice::from_ref(frame))
+    }
+
+    /// Writes a run of frames as one coalesced wire burst: the whole
+    /// batch is encoded into the connection's reusable scratch buffer
+    /// (payload bodies borrowed, never copied) and emitted with a single
+    /// vectored write + flush. Any error (including a write timeout)
+    /// kills the connection — the peer's reader sees a torn stream and
+    /// treats the connection as dead, exactly like a single torn frame.
+    fn send_frames(&self, frames: &[Frame]) -> io::Result<()> {
         let mut w = self.writer.lock();
         if w.dead {
             return Err(io::Error::new(
@@ -75,7 +93,19 @@ impl TcpPeer {
                 "connection is dead",
             ));
         }
-        match write_frame(&mut w.stream, frame) {
+        let result = {
+            let ConnWriter {
+                stream,
+                dead: _,
+                encoder,
+            } = &mut *w;
+            encoder.clear();
+            for frame in frames {
+                encoder.push_frame(frame);
+            }
+            write_all_segments(stream, &encoder.segments())
+        };
+        match result {
             Ok(()) => Ok(()),
             Err(e) => {
                 w.dead = true;
@@ -91,6 +121,42 @@ impl TcpPeer {
         w.dead = true;
         let _ = w.stream.shutdown(Shutdown::Both);
     }
+}
+
+/// Writes every segment to the stream with as few syscalls as the OS
+/// allows — one `write_vectored` covers the whole batch in the common
+/// case — then flushes once. Partial writes resume from the exact byte
+/// reached (`(idx, off)` walks the segment list), so a frame is never
+/// torn by this side.
+fn write_all_segments(stream: &mut TcpStream, segments: &[&[u8]]) -> io::Result<()> {
+    let mut idx = 0;
+    let mut off = 0;
+    while idx < segments.len() {
+        if off >= segments[idx].len() {
+            idx += 1;
+            off = 0;
+            continue;
+        }
+        let bufs: Vec<IoSlice<'_>> = std::iter::once(IoSlice::new(&segments[idx][off..]))
+            .chain(segments[idx + 1..].iter().map(|s| IoSlice::new(s)))
+            .collect();
+        let mut n = stream.write_vectored(&bufs)?;
+        if n == 0 {
+            return Err(io::ErrorKind::WriteZero.into());
+        }
+        while idx < segments.len() {
+            let rem = segments[idx].len() - off;
+            if n >= rem {
+                n -= rem;
+                idx += 1;
+                off = 0;
+            } else {
+                off += n;
+                break;
+            }
+        }
+    }
+    stream.flush()
 }
 
 fn configure_stream(stream: &TcpStream) -> io::Result<()> {
@@ -158,6 +224,20 @@ impl ClientPort for TcpPort {
                 object_bytes: env.object_bytes,
             })
             .is_ok()
+    }
+
+    /// Coalesced path: the whole run becomes one vectored socket write
+    /// (payload bodies borrowed straight from the attach stage's Arcs).
+    fn deliver_batch(&self, envs: Vec<ToClient>) -> bool {
+        let frames: Vec<Frame> = envs
+            .into_iter()
+            .map(|env| Frame::Server {
+                msg: env.msg,
+                page_image: env.page_image,
+                object_bytes: env.object_bytes,
+            })
+            .collect();
+        self.peer.send_frames(&frames).is_ok()
     }
 
     fn close(&self) {

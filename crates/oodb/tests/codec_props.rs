@@ -8,7 +8,7 @@
 //! byte, and the length prefix.
 
 use fgs_core::{ClientId, Oid, PageId, Protocol, Request, ServerMsg, TxnId};
-use fgs_oodb::codec::{decode_frame, encode_frame, read_frame, Frame, MAX_FRAME};
+use fgs_oodb::codec::{decode_frame, encode_frame, read_frame, BatchEncoder, Frame, MAX_FRAME};
 use proptest::prelude::*;
 use std::io::Cursor;
 use std::sync::Arc;
@@ -160,5 +160,34 @@ proptest! {
     #[test]
     fn arbitrary_streams_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
         let _ = read_frame(&mut Cursor::new(&bytes));
+    }
+
+    /// The zero-copy batch encoder (scratch chunks + borrowed payload
+    /// bodies, emitted as a vectored write) is byte-identical to the
+    /// per-frame encoder for any run of frames — the wire format owes
+    /// nothing to how the sender assembled it. Also checks `total_len`
+    /// against the assembled bytes and that reuse after `clear` leaves
+    /// no residue from the previous batch.
+    #[test]
+    fn batch_encoder_matches_per_frame_encoding(
+        first in prop::collection::vec(frame(), 0..6),
+        second in prop::collection::vec(frame(), 0..6),
+    ) {
+        let mut enc = BatchEncoder::new();
+        for batch in [&first, &second] {
+            enc.clear();
+            for f in batch {
+                enc.push_frame(f);
+            }
+            let expected: Vec<u8> = batch.iter().flat_map(encode_frame).collect();
+            prop_assert_eq!(enc.total_len(), expected.len());
+            let assembled: Vec<u8> = enc
+                .segments()
+                .iter()
+                .flat_map(|s| s.iter().copied())
+                .collect();
+            prop_assert_eq!(&assembled, &expected);
+            prop_assert_eq!(&enc.to_bytes(), &expected);
+        }
     }
 }

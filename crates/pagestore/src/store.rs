@@ -12,7 +12,13 @@ use std::io;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Commit-durability counters, exposed for group-commit observability.
+/// Commit-durability counters, exposed for group-commit observability,
+/// plus the server pipeline's per-stage timing and batching counters.
+///
+/// The durability fields are filled by the store itself; the pipeline
+/// fields (`*_ns`, `lock_*`, `commit_p*`, `dispatch_*`, `send_*`) are
+/// filled by the `fgs-oodb` server runtime when it snapshots the store —
+/// a store used directly reports them as zero.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Committed transactions whose commit record was forced durable.
@@ -26,6 +32,39 @@ pub struct StoreStats {
     pub piggybacked_commits: u64,
     /// Total physical log forces (any cause, including steals).
     pub log_forces: u64,
+    /// Nanoseconds the server workers spent in the durability stage
+    /// (commit install + group-committed log force).
+    pub durability_ns: u64,
+    /// Nanoseconds the server workers spent in the protocol stage (lock
+    /// wait + engine transitions under the guard).
+    pub protocol_ns: u64,
+    /// Nanoseconds the server workers spent in the dispatch stage
+    /// (payload attach + hand-off to the send stage).
+    pub dispatch_ns: u64,
+    /// Nanoseconds spent *waiting* to acquire the protocol-stage lock.
+    pub lock_wait_ns: u64,
+    /// Nanoseconds the protocol-stage lock was *held*.
+    pub lock_hold_ns: u64,
+    /// Hot-path protocol-stage lock acquisitions (one per inbound batch).
+    pub lock_acquisitions: u64,
+    /// Median server-side commit latency, microseconds (durability →
+    /// batch handed to the send stage).
+    pub commit_p50_us: u64,
+    /// 99th-percentile server-side commit latency, microseconds.
+    pub commit_p99_us: u64,
+    /// Commits sampled into the latency histogram.
+    pub commit_latency_samples: u64,
+    /// Inbound batches drained by the server workers (one protocol-lock
+    /// acquisition and one sequence number each).
+    pub dispatch_batches: u64,
+    /// Messages across all inbound batches (`/ dispatch_batches` = mean
+    /// amortization of the critical section).
+    pub dispatch_batch_msgs: u64,
+    /// Per-client delivery batches issued by the send stage (one
+    /// coalesced transport write each on TCP).
+    pub send_batches: u64,
+    /// Envelopes across all send batches.
+    pub send_batch_msgs: u64,
 }
 
 /// A logged object store over a disk and buffer pool.
@@ -236,6 +275,7 @@ impl Store {
             group_commit_batches: self.group_commit_batches.load(Ordering::Relaxed),
             piggybacked_commits: self.piggybacked_commits.load(Ordering::Relaxed),
             log_forces: self.wal.forces(),
+            ..StoreStats::default()
         }
     }
 
