@@ -55,8 +55,9 @@ fn bench_client_hit(c: &mut Criterion) {
                         if let fgs_core::ClientAction::Send(req) = a {
                             let so = server.handle(ClientId(0), req);
                             for sa in so.actions {
-                                let fgs_core::ServerAction::Send { msg, .. } = sa;
-                                let _ = client.handle_server(msg);
+                                if let fgs_core::ServerAction::Send { msg, .. } = sa {
+                                    let _ = client.handle_server(msg);
+                                }
                             }
                         }
                     }
@@ -105,7 +106,12 @@ fn bench_callback_cycle(c: &mut Criterion) {
                         if let fgs_core::ClientAction::Send(req) = a {
                             let so = server.handle(ClientId(0), req);
                             for sa in so.actions {
-                                let fgs_core::ServerAction::Send { to, msg } = sa;
+                                let (to, msg) = match sa {
+                                    fgs_core::ServerAction::Send { to, msg } => (to, msg),
+                                    fgs_core::ServerAction::AckCommit { to, txn } => {
+                                        (to, fgs_core::ServerMsg::CommitDone { txn })
+                                    }
+                                };
                                 let target = if to == ClientId(0) {
                                     &mut writer
                                 } else {
@@ -116,7 +122,14 @@ fn bench_callback_cycle(c: &mut Criterion) {
                                     if let fgs_core::ClientAction::Send(req) = ca {
                                         let so2 = server.handle(to, req);
                                         for sa2 in so2.actions {
-                                            let fgs_core::ServerAction::Send { to: t2, msg } = sa2;
+                                            let (t2, msg) = match sa2 {
+                                                fgs_core::ServerAction::Send { to, msg } => {
+                                                    (to, msg)
+                                                }
+                                                fgs_core::ServerAction::AckCommit { to, txn } => {
+                                                    (to, fgs_core::ServerMsg::CommitDone { txn })
+                                                }
+                                            };
                                             let tgt = if t2 == ClientId(0) {
                                                 &mut writer
                                             } else {
@@ -147,7 +160,14 @@ fn pump(
         if let fgs_core::ClientAction::Send(req) = a {
             let so = server.handle(client.id(), req);
             for sa in so.actions {
-                let fgs_core::ServerAction::Send { msg, .. } = sa;
+                // Synchronous pump: a commit ack is durable the moment the
+                // engine emits it, so it becomes `CommitDone` immediately.
+                let msg = match sa {
+                    fgs_core::ServerAction::Send { msg, .. } => msg,
+                    fgs_core::ServerAction::AckCommit { txn, .. } => {
+                        fgs_core::ServerMsg::CommitDone { txn }
+                    }
+                };
                 let out = client.handle_server(msg);
                 pump(server, client, out.actions);
             }

@@ -74,6 +74,10 @@ struct BenchReport {
     bench: String,
     txns_per_client: u64,
     reps: u64,
+    /// Logical CPUs of the measuring host. Numbers from differently
+    /// shaped hosts are not comparable; the regression gate downgrades
+    /// its verdict to a warning when this differs from the baseline's.
+    host_cpus: u64,
     points: Vec<BenchPoint>,
 }
 
@@ -240,6 +244,9 @@ fn main() {
         bench: "server_throughput".to_string(),
         txns_per_client,
         reps,
+        host_cpus: std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(0),
         points,
     };
     let out_dir = match std::env::var("FGS_RESULTS") {

@@ -33,6 +33,20 @@ pub enum ServerAction {
         /// The message.
         msg: ServerMsg,
     },
+    /// Acknowledge a commit — but only once its log records are durable.
+    /// The engine has already released the transaction's locks (the WAL
+    /// rule allows early release: anything that reads the released state
+    /// commits *after* this record in log order), so the embedding must
+    /// turn this into a `ServerMsg::CommitDone` gated on its durability
+    /// watermark, keeping it ordered against later sends to the same
+    /// client. An embedding without an asynchronous durability stage may
+    /// ack immediately after a synchronous force.
+    AckCommit {
+        /// The committing client.
+        to: ClientId,
+        /// The committed transaction.
+        txn: TxnId,
+    },
 }
 
 impl ServerAction {
@@ -41,6 +55,7 @@ impl ServerAction {
     pub fn attaches_data(&self) -> bool {
         match self {
             ServerAction::Send { msg, .. } => msg.attaches_data(),
+            ServerAction::AckCommit { .. } => false,
         }
     }
 }
@@ -246,7 +261,7 @@ impl ServerEngine {
         // notifications end_txn queued for it (and anything else addressed
         // there) so embeddings need no port-liveness filtering.
         self.out.retain(|a| match a {
-            ServerAction::Send { to, .. } => *to != client,
+            ServerAction::Send { to, .. } | ServerAction::AckCommit { to, .. } => *to != client,
         });
         Outcome {
             actions: std::mem::take(&mut self.out),
@@ -775,9 +790,13 @@ impl ServerEngine {
         // sets of concurrent writers disjoint).
         self.cost.merged_objects += writes.iter().map(|w| w.slots.len() as u32).sum::<u32>();
         // A read-only transaction may never have registered server state;
-        // it is still acknowledged.
+        // it is still acknowledged. The ack itself is deferred: the
+        // embedding's completion stage emits `CommitDone` once the
+        // durability watermark covers the commit record (early lock
+        // release is safe — log order puts any dependent commit after
+        // this one, so an acked reader implies a durable writer).
         self.end_txn(txn);
-        self.send(from, ServerMsg::CommitDone { txn });
+        self.out.push(ServerAction::AckCommit { to: from, txn });
     }
 
     fn handle_client_abort(&mut self, from: ClientId, txn: TxnId) {

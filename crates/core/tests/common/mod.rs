@@ -101,7 +101,14 @@ impl World {
                 Envelope::ToServer(from, req) => {
                     let out = self.server.handle(from, req);
                     for a in out.actions {
-                        let ServerAction::Send { to, msg } = a;
+                        // This harness forces synchronously, so a commit
+                        // ack becomes a CommitDone right away.
+                        let (to, msg) = match a {
+                            ServerAction::Send { to, msg } => (to, msg),
+                            ServerAction::AckCommit { to, txn } => {
+                                (to, ServerMsg::CommitDone { txn })
+                            }
+                        };
                         self.msgs_to_clients += 1;
                         self.net.push_back(Envelope::ToClient(to, msg));
                     }
@@ -120,7 +127,10 @@ impl World {
     pub fn disconnect(&mut self, c: u16) {
         let out = self.server.client_gone(ClientId(c));
         for a in out.actions {
-            let ServerAction::Send { to, msg } = a;
+            let (to, msg) = match a {
+                ServerAction::Send { to, msg } => (to, msg),
+                ServerAction::AckCommit { to, txn } => (to, ServerMsg::CommitDone { txn }),
+            };
             assert_ne!(to, ClientId(c), "message addressed to a gone client");
             self.msgs_to_clients += 1;
             self.net.push_back(Envelope::ToClient(to, msg));

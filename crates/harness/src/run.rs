@@ -29,7 +29,7 @@ use fgs_oodb::{
     serve_tcp_recover, serve_tcp_with_disk, ChaosConfig, EngineConfig, Oodb, RemoteClient, Session,
     TransportKind, TxnError,
 };
-use fgs_pagestore::{FaultPlan, FaultyDisk, MemDisk, Store};
+use fgs_pagestore::{FaultPlan, FaultyDisk, MemDisk, Store, WalHold};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -131,6 +131,15 @@ fn derive_plan(seed: u64, mode: Mode, txns_per_client: usize) -> Plan {
         write_fault_per_10k: r(40) as u32,
         read_fault_per_10k: r(20) as u32,
         max_faults: r(4),
+        // Park the WAL pipeline at a seed-chosen stage boundary when the
+        // crash line is drawn, so crash images routinely carry
+        // appended-not-forced and sealed-not-written tails.
+        wal_hold: match r(4) {
+            0 => WalHold::None,
+            1 => WalHold::BeforeSeal,
+            2 => WalHold::BeforeWrite,
+            _ => WalHold::BeforeForce,
+        },
     };
     let total = txns_per_client * n_clients as usize;
     Plan {
@@ -545,7 +554,22 @@ pub fn run_seed(seed: u64, mode: Mode) -> Result<RunSummary, String> {
 
 /// [`run_seed`] with an explicit per-client transaction budget.
 pub fn run_seed_with(seed: u64, mode: Mode, txns_per_client: usize) -> Result<RunSummary, String> {
-    let plan = derive_plan(seed, mode, txns_per_client);
+    run_seed_hold(seed, mode, txns_per_client, None)
+}
+
+/// [`run_seed_with`] with the crash line's WAL freeze point forced to
+/// `hold` instead of seed-derived — the hold-sweep tests pin each stage
+/// boundary in turn so every crash point is exercised every run.
+pub fn run_seed_hold(
+    seed: u64,
+    mode: Mode,
+    txns_per_client: usize,
+    hold: Option<WalHold>,
+) -> Result<RunSummary, String> {
+    let mut plan = derive_plan(seed, mode, txns_per_client);
+    if let Some(h) = hold {
+        plan.faults.wal_hold = h;
+    }
     let objects = all_objects(&plan.config);
     let fail = |phase: &str, e: String| format!("seed {seed} ({mode:?}, {phase}): {e}");
 
@@ -569,7 +593,7 @@ pub fn run_seed_with(seed: u64, mode: Mode, txns_per_client: usize) -> Result<Ru
                 .map_err(|e| fail("serve", e.to_string()))?;
             disk.arm(plan.faults); // armed only after initial load
             let addr = server.local_addr();
-            let results = std::thread::scope(|scope| {
+            let (log, results) = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for c in 0..plan.config.n_clients {
                     let objects = &objects;
@@ -595,13 +619,20 @@ pub fn run_seed_with(seed: u64, mode: Mode, txns_per_client: usize) -> Result<Ru
                     &frozen,
                     &disk,
                 );
-                handles
+                // The log capture: strictly after the crash line, with
+                // the WAL pipeline parked at the plan's stage boundary.
+                // Releasing the hold afterwards lets the writer drain,
+                // so in-flight (ghost) commits unwedge before the join.
+                server.wal_hold(plan.faults.wal_hold);
+                let log = server.crash_log(plan.torn_tail);
+                server.wal_hold(WalHold::None);
+                let results = handles
                     .into_iter()
                     .map(|h| h.join().expect("phase-1 worker"))
-                    .collect::<Vec<_>>()
+                    .collect::<Vec<_>>();
+                (log, results)
             });
-            // The log capture: strictly after the crash line.
-            crash_log = server.crash_log(plan.torn_tail);
+            crash_log = log;
             drop(server); // its checkpoint lands on the frozen disk: eaten
             for r in results {
                 phase1.extend(r.map_err(|e| fail("phase1", e))?);
@@ -614,7 +645,7 @@ pub fn run_seed_with(seed: u64, mode: Mode, txns_per_client: usize) -> Result<Ru
             let db = Oodb::open_with_disk(config, disk.clone(), true)
                 .map_err(|e| fail("open", e.to_string()))?;
             disk.arm(plan.faults);
-            let results = std::thread::scope(|scope| {
+            let (log, results) = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for c in 0..plan.config.n_clients {
                     let session = db.session(c);
@@ -640,12 +671,18 @@ pub fn run_seed_with(seed: u64, mode: Mode, txns_per_client: usize) -> Result<Ru
                     &frozen,
                     &disk,
                 );
-                handles
+                // As in the TCP arm: capture under the hold, then
+                // release it so parked ghost acks unwedge the workers.
+                db.wal_hold(plan.faults.wal_hold);
+                let log = db.crash_log(plan.torn_tail);
+                db.wal_hold(WalHold::None);
+                let results = handles
                     .into_iter()
                     .map(|h| h.join().expect("phase-1 worker"))
-                    .collect::<Vec<_>>()
+                    .collect::<Vec<_>>();
+                (log, results)
             });
-            crash_log = db.crash_log(plan.torn_tail);
+            crash_log = log;
             drop(db);
             for r in results {
                 phase1.extend(r.map_err(|e| fail("phase1", e))?);

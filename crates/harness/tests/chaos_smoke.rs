@@ -4,7 +4,8 @@
 //!
 //! `FGS_CHAOS_SEEDS` overrides the number of seeds per mode.
 
-use fgs_harness::run::{run_seed, Mode};
+use fgs_harness::run::{run_seed, run_seed_hold, Mode};
+use fgs_pagestore::WalHold;
 
 fn seeds() -> u64 {
     if let Ok(v) = std::env::var("FGS_CHAOS_SEEDS") {
@@ -36,4 +37,35 @@ fn chaos_smoke_channel() {
 #[test]
 fn chaos_smoke_tcp() {
     sweep(Mode::Tcp);
+}
+
+/// Pins every WAL freeze point in turn so each stage boundary of the
+/// asynchronous durability pipeline (appended-not-forced,
+/// sealed-not-written, written-not-forced) is crash-tested every run,
+/// not just on the seeds that happen to draw it.
+fn hold_sweep(mode: Mode) {
+    let txns = if cfg!(debug_assertions) { 12 } else { 30 };
+    let holds = [
+        WalHold::BeforeSeal,
+        WalHold::BeforeWrite,
+        WalHold::BeforeForce,
+    ];
+    let per_hold = (seeds() / 3).max(1);
+    for hold in holds {
+        for seed in 0..per_hold {
+            if let Err(e) = run_seed_hold(seed, mode, txns, Some(hold)) {
+                panic!("chaos hold run failed ({mode:?}, {hold:?}): {e}");
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_hold_channel() {
+    hold_sweep(Mode::Channel);
+}
+
+#[test]
+fn chaos_hold_tcp() {
+    hold_sweep(Mode::Tcp);
 }

@@ -2,7 +2,7 @@
 // suppressed through the escape hatches — the `#[allow_lock_order]`
 // attribute and `fgs-lint: allow(...)` directives. Must lint clean.
 
-struct GcState {
+struct LogWriterState {
     pending: Vec<u64>,
 }
 
@@ -15,7 +15,7 @@ struct WalInner {
 }
 
 struct Srv {
-    gc: Mutex<GcState>,
+    gc: Mutex<LogWriterState>,
     protocol: Mutex<ProtocolStage>,
     wal: Mutex<WalInner>,
 }

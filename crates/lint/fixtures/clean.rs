@@ -1,8 +1,8 @@
 // Fixture: a well-behaved module that follows the declared lock order
-// (GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk) everywhere.
+// (LogWriterState -> ProtocolStage -> PoolShard -> WalInner -> Disk) everywhere.
 // fgs-lint must report nothing here.
 
-struct GcState {
+struct LogWriterState {
     pending: Vec<u64>,
 }
 
@@ -19,7 +19,7 @@ struct WalInner {
 }
 
 struct Srv {
-    gc: Mutex<GcState>,
+    gc: Mutex<LogWriterState>,
     protocol: Mutex<ProtocolStage>,
     shard0: Mutex<PoolInner>,
     wal: Mutex<WalInner>,

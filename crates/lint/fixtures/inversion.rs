@@ -2,7 +2,7 @@
 // direct inversion and the transitive one through `helper`, naming the
 // offending lock pair.
 
-struct GcState {
+struct LogWriterState {
     pending: Vec<u64>,
 }
 
@@ -11,7 +11,7 @@ struct WalInner {
 }
 
 struct Srv {
-    gc: Mutex<GcState>,
+    gc: Mutex<LogWriterState>,
     wal: Mutex<WalInner>,
 }
 

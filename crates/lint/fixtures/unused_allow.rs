@@ -2,7 +2,7 @@
 // must flag both the stale directive and the stale attribute
 // (unused_allow) — the code below is clean, so the annotations are rot.
 
-struct GcState {
+struct LogWriterState {
     pending: Vec<u64>,
 }
 
@@ -11,7 +11,7 @@ struct WalInner {
 }
 
 struct Srv {
-    gc: Mutex<GcState>,
+    gc: Mutex<LogWriterState>,
     wal: Mutex<WalInner>,
 }
 

@@ -645,7 +645,7 @@ impl Workspace {
                     format!(
                         "lock order violated: acquired {class} while holding {} \
                          (acquired at line {}); declared order is \
-                         GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk -> PortTable -> ConnWriter",
+                         LogWriterState -> ProtocolStage -> PoolShard -> WalInner -> Disk -> CompletionState -> PortTable -> ConnWriter",
                         g.class, g.line
                     )
                 };
@@ -704,7 +704,7 @@ impl Workspace {
                         message: format!(
                             "call to `{callee_label}` may acquire {c} (via {witness}) while \
                              holding {} (acquired at line {}); declared order is \
-                             GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk -> PortTable -> ConnWriter",
+                             LogWriterState -> ProtocolStage -> PoolShard -> WalInner -> Disk -> CompletionState -> PortTable -> ConnWriter",
                             g.class, g.line
                         ),
                     });
@@ -1113,9 +1113,9 @@ mod tests {
     }
 
     const PRELUDE: &str = r#"
-        struct GcState { pending: Vec<u64> }
+        struct LogWriterState { pending: Vec<u64> }
         struct WalInner { buf: Vec<u8> }
-        struct Srv { gc: Mutex<GcState>, wal: Mutex<WalInner> }
+        struct Srv { gc: Mutex<LogWriterState>, wal: Mutex<WalInner> }
     "#;
 
     #[test]
@@ -1150,7 +1150,7 @@ mod tests {
         let v = check(&src);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, Rule::LockOrder);
-        assert!(v[0].message.contains("GcState"));
+        assert!(v[0].message.contains("LogWriterState"));
         assert!(v[0].message.contains("WalInner"));
     }
 

@@ -58,7 +58,7 @@ fn main() -> ExitCode {
     };
     if violations.is_empty() {
         eprintln!(
-            "fgs-lint: {} file(s) clean (lock order GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk -> PortTable -> ConnWriter; \
+            "fgs-lint: {} file(s) clean (lock order LogWriterState -> ProtocolStage -> PoolShard -> WalInner -> Disk -> CompletionState -> PortTable -> ConnWriter; \
              protocol passes: handler_exhaustiveness, illegal_transition, panic_under_protocol, determinism, unused_allow)",
             files.len()
         );

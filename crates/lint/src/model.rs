@@ -6,8 +6,8 @@
 //! lock it already holds:
 //!
 //! ```text
-//! GcState -> ProtocolStage -> PoolShard -> WalInner -> Disk
-//!     -> PortTable -> ConnWriter
+//! LogWriterState -> ProtocolStage -> PoolShard -> WalInner -> Disk
+//!     -> CompletionState -> PortTable -> ConnWriter
 //! ```
 
 use std::fmt;
@@ -17,8 +17,10 @@ use std::fmt;
 /// `c as u8 > h as u8`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LockClass {
-    /// Group-commit coalescing state (`server.rs`).
-    GcState = 0,
+    /// The log-writer thread's request board (`server.rs`): the
+    /// requested-durability watermark and pending-commit count workers
+    /// hand to the dedicated WAL writer.
+    LogWriterState = 0,
     /// A pipeline stage's protocol/engine mutex (`server.rs`).
     ProtocolStage = 1,
     /// One buffer-pool shard (`bufferpool.rs`).
@@ -27,12 +29,17 @@ pub enum LockClass {
     WalInner = 3,
     /// The disk manager's page table (`disk.rs`).
     Disk = 4,
+    /// The completion router's durable watermark + per-client barrier
+    /// queues (`server.rs`). Sits after the storage classes (the log
+    /// writer advances it having finished its WAL/disk work) and before
+    /// the transport classes (releasing a queue resolves a port).
+    CompletionState = 5,
     /// The transport's client-port registry (`transport/mod.rs`).
-    PortTable = 5,
+    PortTable = 6,
     /// A TCP connection's write half (`transport/tcp.rs`). Innermost by
     /// design: socket writes are blocking I/O, so nothing may be waiting
     /// on a `ConnWriter` holder.
-    ConnWriter = 6,
+    ConnWriter = 7,
 }
 
 impl LockClass {
@@ -42,12 +49,13 @@ impl LockClass {
     }
 
     /// All classes, in order.
-    pub const ALL: [LockClass; 7] = [
-        LockClass::GcState,
+    pub const ALL: [LockClass; 8] = [
+        LockClass::LogWriterState,
         LockClass::ProtocolStage,
         LockClass::PoolShard,
         LockClass::WalInner,
         LockClass::Disk,
+        LockClass::CompletionState,
         LockClass::PortTable,
         LockClass::ConnWriter,
     ];
@@ -57,11 +65,12 @@ impl LockClass {
     /// internally) to its lock class.
     pub fn from_inner_type(name: &str) -> Option<LockClass> {
         Some(match name {
-            "GcState" => LockClass::GcState,
+            "LogWriterState" => LockClass::LogWriterState,
             "ProtocolStage" | "EngineStage" => LockClass::ProtocolStage,
             "PoolShard" | "PoolInner" | "ShardInner" => LockClass::PoolShard,
             "WalInner" => LockClass::WalInner,
             "DiskInner" => LockClass::Disk,
+            "CompletionState" => LockClass::CompletionState,
             "PortTable" => LockClass::PortTable,
             "ConnWriter" => LockClass::ConnWriter,
             _ => return None,
@@ -83,11 +92,12 @@ impl LockClass {
 impl fmt::Display for LockClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
-            LockClass::GcState => "GcState",
+            LockClass::LogWriterState => "LogWriterState",
             LockClass::ProtocolStage => "ProtocolStage",
             LockClass::PoolShard => "PoolShard",
             LockClass::WalInner => "WalInner",
             LockClass::Disk => "Disk",
+            LockClass::CompletionState => "CompletionState",
             LockClass::PortTable => "PortTable",
             LockClass::ConnWriter => "ConnWriter",
         };
@@ -178,10 +188,11 @@ mod tests {
     #[test]
     fn ranks_follow_the_declared_dag() {
         let ranks: Vec<u8> = LockClass::ALL.iter().map(|c| c.rank()).collect();
-        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5, 6]);
-        assert!(LockClass::GcState < LockClass::ProtocolStage);
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(LockClass::LogWriterState < LockClass::ProtocolStage);
         assert!(LockClass::WalInner < LockClass::Disk);
-        assert!(LockClass::Disk < LockClass::PortTable);
+        assert!(LockClass::Disk < LockClass::CompletionState);
+        assert!(LockClass::CompletionState < LockClass::PortTable);
         assert!(LockClass::PortTable < LockClass::ConnWriter);
     }
 

@@ -170,9 +170,17 @@ pub const ORIGINS: &[OriginSpec] = &[
             ("ServerEngine", "abort_victim"),
         ],
     },
+    // The engine itself no longer constructs the commit ack: it emits a
+    // `ServerAction::AckCommit`, and the ack becomes a wire message only
+    // where durability is decided — the completion router (embedded
+    // server) once the log writer's durable watermark passes the ack's
+    // LSN, or the simulator's log-force continuation.
     OriginSpec {
         variant: "ServerMsg::CommitDone",
-        origins: &[("ServerEngine", "handle_commit")],
+        origins: &[
+            ("CompletionRouter", "release_ready"),
+            ("Simulator", "run_cont"),
+        ],
     },
     OriginSpec {
         variant: "ServerMsg::AbortDone",
@@ -236,6 +244,19 @@ pub const CLIENT_ROLE_OWNERS: &[&str] = &["ClientEngine", "ClientRuntime"];
 /// Owners on the server side of the wire: may construct `ServerMsg`,
 /// never `Request`.
 pub const SERVER_ROLE_OWNERS: &[&str] = &["ServerEngine", "ServerRuntime"];
+
+/// Origin owners deliberately absent from both role tables.
+///
+/// The role pass walks a *name-resolved* transitive call graph, which is
+/// unsound for these two: `Simulator` drives both halves of the wire by
+/// design (its event loop calls `ClientEngine::handle_server`, which
+/// legitimately constructs `Request`s), and `CompletionRouter`'s delivery
+/// path (`deliver_batch`/`deliver`) shares method names with the
+/// simulator's, so the name-based graph bleeds one into the other.
+/// Their *direct* constructions are still fully policed by the origin
+/// pass — each may construct exactly the durability-gated `CommitDone`,
+/// and only in the function the origin table names.
+pub const ROLE_EXEMPT_ORIGIN_OWNERS: &[&str] = &["CompletionRouter", "Simulator"];
 
 /// Crate sub-paths whose sources must stay deterministic: the simulation
 /// kernel, the simulator, and the chaos harness all promise
@@ -365,11 +386,22 @@ mod tests {
                     CLIENT_ROLE_OWNERS
                 };
                 assert!(
-                    table.contains(owner),
-                    "{}: origin owner {owner} not in its role table",
+                    table.contains(owner) || ROLE_EXEMPT_ORIGIN_OWNERS.contains(owner),
+                    "{}: origin owner {owner} not in its role table (or the \
+                     documented exempt list)",
                     o.variant
                 );
             }
+        }
+        // The exempt list is for origin owners only — anything else in it
+        // would silently drop role coverage.
+        for owner in ROLE_EXEMPT_ORIGIN_OWNERS {
+            assert!(
+                ORIGINS
+                    .iter()
+                    .any(|o| o.origins.iter().any(|(ow, _)| ow == owner)),
+                "{owner} is role-exempt but originates nothing"
+            );
         }
     }
 }

@@ -96,6 +96,11 @@ impl ClientRuntime {
                     }
                 }
                 ClientMsg::Server(env) => self.handle_server(env),
+                ClientMsg::ServerBatch(envs) => {
+                    for env in envs {
+                        self.handle_server(env);
+                    }
+                }
                 ClientMsg::Lost => self.conn_lost(),
             }
         }

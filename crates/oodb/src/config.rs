@@ -29,9 +29,12 @@ pub struct EngineConfig {
     /// client's request order while requests from different clients are
     /// handled concurrently. Capped at `n_clients` at startup.
     pub server_workers: usize,
-    /// Group-commit gather target: a log force waits (briefly) for up to
-    /// this many concurrently arriving commits and makes them durable with
-    /// a single force. `1` disables batching (force per commit).
+    /// Historical group-commit gather target. The asynchronous
+    /// durability pipeline (dedicated log-writer thread, double-buffered
+    /// appends) subsumed timed gathering: force coalescing now falls out
+    /// of the writer's cycle time, so this knob no longer affects the
+    /// pipeline. Kept (and still validated) for configuration
+    /// compatibility.
     pub group_commit_batch: usize,
     /// Run the server engine's internal invariant checks after every
     /// request even in release builds (always on under

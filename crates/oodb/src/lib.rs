@@ -3,9 +3,11 @@
 //! An embedded, multi-threaded **page-server OODBMS** implementing the
 //! five granularity schemes of Carey, Franklin & Zaharioudakis (SIGMOD
 //! 1994). The server is a staged pipeline — a worker pool shards
-//! requests by client, commits are made durable with a group-committed
-//! log force, the protocol engine runs single-writer under a small lock,
-//! and data payloads are attached outside it. Each client workstation is
+//! requests by client, commit records are appended to a double-buffered
+//! WAL tail and forced by a dedicated log-writer thread (acks released
+//! by the completion router once the durable watermark passes them), the
+//! protocol engine runs single-writer under a small lock, and data
+//! payloads are attached outside it. Each client workstation is
 //! a runtime thread with its own cache (page images or objects) driven
 //! by the client protocol engine — the *same* `fgs-core` engines the
 //! simulator evaluates, so the measured protocols and the executable
@@ -18,9 +20,10 @@
 //! * intertransaction caching with callback-based consistency, adaptive
 //!   de-escalation under PS-AA, and deadlock detection with victim abort
 //!   (surfaced as [`TxnError::Deadlock`] — retry via [`Session::run_txn`]);
-//! * steal/no-force durability: WAL with before/after images, group
-//!   commit (batched log forces, see [`EngineConfig::group_commit_batch`]
-//!   and [`Oodb::store_stats`]), crash recovery (see `fgs-pagestore`);
+//! * steal/no-force durability: WAL with before/after images, an
+//!   asynchronous durability pipeline (a dedicated log-writer thread
+//!   coalesces forces across commits; see [`Oodb::store_stats`]), crash
+//!   recovery (see `fgs-pagestore`);
 //! * size-changing updates: objects may grow up to page capacity;
 //!   overflow at the server forwards records transparently;
 //! * a pluggable transport (DESIGN.md §12): the embedded engine runs its
@@ -65,14 +68,14 @@ mod wire;
 pub use chaos::ChaosConfig;
 pub use config::EngineConfig;
 pub use error::TxnError;
-pub use fgs_pagestore::StoreStats;
+pub use fgs_pagestore::{StoreStats, WalHold};
 pub use remote::{serve_tcp, serve_tcp_recover, serve_tcp_with_disk, RemoteClient, ServerHandle};
 pub use session::Session;
 pub use transport::TransportKind;
 
 use crate::chaos::ChaosPort;
 use crate::client::ClientRuntime;
-use crate::server::{sender_loop, SeqBatch, ServerRuntime};
+use crate::server::{log_writer_loop, sender_loop, SeqBatch, ServerRuntime};
 use crate::transport::channel::{ChannelPort, ChannelSink};
 use crate::transport::tcp::{TcpConnection, TcpServer, WelcomeInfo};
 use crate::transport::{ClientParams, ClientPort, PortMap};
@@ -93,33 +96,49 @@ pub(crate) struct ServerCore {
     worker_txs: Vec<Sender<ToServer>>,
     ports: Arc<PortMap>,
     threads: Vec<JoinHandle<()>>,
+    /// The dedicated log-writer thread; stopped (with a final catch-up
+    /// cycle) only after every worker and the sender have drained, so
+    /// all registered commits are forced and acked before it exits.
+    log_writer: Option<JoinHandle<()>>,
 }
 
 impl ServerCore {
-    /// Starts the pipeline: one send-stage thread plus
-    /// `min(server_workers, port_limit)` workers. `port_limit` caps
-    /// client ids (they shard over workers as `client % workers`).
+    /// Starts the pipeline: one send-stage thread, one log-writer
+    /// thread, plus `min(server_workers, port_limit)` workers.
+    /// `port_limit` caps client ids (they shard over workers as
+    /// `client % workers`).
     pub(crate) fn start(config: &EngineConfig, store: Store, port_limit: u16) -> ServerCore {
         let engine = ServerEngine::new(config.protocol, config.objects_per_page);
-        let runtime = Arc::new(ServerRuntime::new(
-            engine,
-            store,
-            config.group_commit_batch,
-            config.paranoid,
-        ));
+        let runtime = Arc::new(ServerRuntime::new(engine, store, config.paranoid));
         let ports = Arc::new(PortMap::new(port_limit));
         let n_workers = config.server_workers.min(port_limit as usize);
         let mut threads = Vec::new();
 
-        // The send stage: one thread restoring engine order.
+        // The durability stage: one thread owning the WAL tail, cycling
+        // seal → write → force over whatever the workers appended and
+        // advancing the completion router's durable watermark.
+        let log_writer = {
+            let runtime = runtime.clone();
+            let ports = ports.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("fgs-wal".into())
+                    .spawn(move || log_writer_loop(&runtime, &ports))
+                    .expect("spawn log writer"),
+            )
+        };
+
+        // The send stage: one thread restoring engine order and feeding
+        // the completion router.
         let (batch_tx, batch_rx) = unbounded::<SeqBatch>();
         {
             let ports = ports.clone();
+            let runtime = runtime.clone();
             let metrics = runtime.metrics();
             threads.push(
                 std::thread::Builder::new()
                     .name("fgs-send".into())
-                    .spawn(move || sender_loop(batch_rx, ports, metrics))
+                    .spawn(move || sender_loop(batch_rx, ports, runtime, metrics))
                     .expect("spawn sender"),
             );
         }
@@ -146,6 +165,7 @@ impl ServerCore {
             worker_txs,
             ports,
             threads,
+            log_writer,
         }
     }
 
@@ -153,9 +173,10 @@ impl ServerCore {
         self.runtime.store().flush_all()
     }
 
-    /// Stops the worker pool and the send stage. Transport threads (and
-    /// their ports) must be gone first so no request arrives after its
-    /// worker.
+    /// Stops the worker pool, the send stage, and finally the log
+    /// writer (whose last cycle forces and acks everything the workers
+    /// registered). Transport threads (and their ports) must be gone
+    /// first so no request arrives after its worker.
     pub(crate) fn shutdown(&mut self) {
         for tx in &self.worker_txs {
             let _ = tx.send(ToServer::Shutdown);
@@ -163,10 +184,14 @@ impl ServerCore {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        if let Some(writer) = self.log_writer.take() {
+            self.runtime.stop_log_writer();
+            let _ = writer.join();
+        }
     }
 
     pub(crate) fn is_shut_down(&self) -> bool {
-        self.threads.is_empty()
+        self.threads.is_empty() && self.log_writer.is_none()
     }
 }
 
@@ -338,6 +363,19 @@ impl Oodb {
     /// log image of a crash striking mid-write (for recovery tests).
     pub fn crash_log(&self, extra: usize) -> Vec<u8> {
         self.core.runtime.store().wal().crash_bytes(extra)
+    }
+
+    /// Freezes (or releases) the log writer at a chosen stage of its
+    /// seal → write → force cycle — the chaos harness's crash points for
+    /// the asynchronous durability pipeline. While held, the durable
+    /// watermark stops and pending commit acks stay parked; synchronous
+    /// flushes (checkpoint, abort) are deliberately unaffected.
+    pub fn wal_hold(&self, hold: WalHold) {
+        self.core.runtime.store().wal().set_hold(hold);
+        // A turn under a hold no-ops yet still counts as handled, so the
+        // writer must be kicked (not merely woken) to re-drain once the
+        // hold lifts — otherwise parked acks wait for the next commit.
+        self.core.runtime.kick_log_writer();
     }
 
     /// Stops all threads, flushing state first.

@@ -142,6 +142,14 @@ impl ServerHandle {
         self.core.runtime.store().wal().crash_bytes(extra)
     }
 
+    /// Freezes (or releases) the log writer at a chosen stage of its
+    /// seal → write → force cycle (chaos crash points); see
+    /// [`Oodb::wal_hold`](crate::Oodb::wal_hold).
+    pub fn wal_hold(&self, hold: crate::WalHold) {
+        self.core.runtime.store().wal().set_hold(hold);
+        self.core.runtime.kick_log_writer();
+    }
+
     /// Checkpoints, disconnects every client, and stops the pipeline.
     pub fn shutdown(mut self) {
         self.shutdown_inner();

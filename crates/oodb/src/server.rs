@@ -8,10 +8,13 @@
 //! * **Workers** — `server_workers` threads, each owning a shard of the
 //!   clients (`client % workers`), so one client's requests stay FIFO
 //!   while different clients proceed concurrently.
-//! * **Durability** — commit data is installed into the store and the
-//!   log is forced *before* the engine releases locks, so readers
-//!   unblocked by the commit see the new values. Concurrent commits
-//!   coalesce into one physical log force ([`GroupCommit`]).
+//! * **Durability (append)** — commit data is installed into the store
+//!   and the commit records *appended* before the engine releases locks;
+//!   the worker registers the batch's watermark with the [`LogWriter`]
+//!   and moves on without waiting for the force. Early lock release is
+//!   safe under the WAL rule: any transaction that reads the released
+//!   state appends its own commit record *after* these, so its ack
+//!   watermark covers them (log order).
 //! * **Protocol** — the engine itself stays single-writer under a small
 //!   mutex held only for the in-memory state transition; a global
 //!   sequence number is assigned under the same lock, capturing the
@@ -21,8 +24,20 @@
 //!   synchronization). A storage error here aborts the affected
 //!   transaction ([`AbortReason::Server`]) instead of panicking.
 //! * **Send** — a dedicated sender thread re-orders completed batches by
-//!   sequence number, so every client observes the engine's order even
-//!   though attaches finish out of order.
+//!   sequence number and feeds each client's run into the completion
+//!   router, so every client observes the engine's order even though
+//!   attaches finish out of order.
+//! * **Log writer** — a dedicated thread owns the WAL tail: it seals the
+//!   active append buffer, writes the sealed shadow segment, and forces
+//!   the written image ([`fgs_pagestore::Wal`]'s stepwise API), each
+//!   cycle coalescing every commit appended since the last one. This
+//!   subsumes the old group-commit gather: batching now comes from the
+//!   writer's natural cycle time instead of timed waits in the workers.
+//! * **Completion** — the [`CompletionRouter`] holds each commit ack
+//!   until the writer's durable watermark passes its LSN, then emits
+//!   `CommitDone` through the normal batched delivery path. A pending
+//!   ack is a *barrier* for later messages to the same client, so the
+//!   engine's per-client order survives the deferral.
 
 use crate::wire::{SharedBytes, ToClient, ToServer};
 use crossbeam::channel::{Receiver, Sender};
@@ -30,30 +45,21 @@ use fgs_core::server::{ServerAction, ServerEngine, ServerStats};
 use fgs_core::sync::{Condvar, Mutex};
 use fgs_core::{AbortReason, ClientId, DataGrant, Oid, PageId, Request, ServerMsg, TxnId};
 use fgs_pagestore::{Lsn, Store, StoreStats};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Hard cap on how many queued messages a worker drains into one batch
 /// (one protocol-lock acquisition, one sequence number, one invariant
 /// sample). Bounds both latency and the size of a `SeqBatch`.
 const DISPATCH_BATCH: usize = 64;
 
-/// Upper bound on how long a group-commit leader waits for more commits
-/// to join its batch. Only paid when another client committed recently
-/// (a solo commit stream forces immediately).
-const GATHER_WINDOW: Duration = Duration::from_micros(500);
-
-/// Adaptive gather step: the leader waits in slices this long and stops
-/// as soon as a whole slice passes with no new commit joining — a burst
-/// is harvested without ever paying the full window for a straggler
-/// that is not coming.
-const GATHER_SLICE: Duration = Duration::from_micros(50);
-
-/// How recent another client's commit must be for the leader to expect
-/// company and gather a batch.
-const CONCURRENT_WINDOW: Duration = Duration::from_millis(5);
+/// Backpressure cap on the WAL's active append buffer. A worker blocks
+/// appending only when the active buffer holds this much *and* the
+/// sealed shadow segment is still being written — i.e. the log device
+/// is more than two full buffers behind the workload.
+const APPEND_CAP: usize = 1 << 20;
 
 /// The protocol stage: the engine plus the global send-order sequence.
 /// Everything in here is touched only under the one (small) mutex.
@@ -64,10 +70,29 @@ struct ProtocolStage {
     next_seq: u64,
 }
 
+/// One outbound item after the dispatch stage: a ready envelope, or a
+/// commit ack that must wait for the durable watermark.
+pub(crate) enum OutMsg {
+    /// Deliverable as-is (unless queued behind a pending ack).
+    Env(ToClient),
+    /// Becomes `CommitDone` once the log writer's durable watermark
+    /// reaches `ack_lsn` (the WAL tail at the owning batch's append
+    /// pre-pass — covering the commit's own records *and* every record
+    /// its reads could depend on).
+    Ack {
+        /// The committed transaction.
+        txn: TxnId,
+        /// Watermark the durable horizon must reach before the ack.
+        ack_lsn: Lsn,
+        /// Batch arrival, for end-to-end commit latency.
+        t0: Instant,
+    },
+}
+
 /// A batch of outbound messages stamped with its engine-order sequence.
 pub(crate) struct SeqBatch {
     seq: u64,
-    msgs: Vec<(ClientId, ToClient)>,
+    msgs: Vec<(ClientId, OutMsg)>,
 }
 
 /// A lock-free log₂-bucketed latency histogram (nanosecond samples).
@@ -128,6 +153,7 @@ pub(crate) struct PipelineMetrics {
     dispatch_batch_msgs: AtomicU64,
     send_batches: AtomicU64,
     send_batch_msgs: AtomicU64,
+    deferred_acks: AtomicU64,
     commit_latency: LatencyHistogram,
 }
 
@@ -144,6 +170,7 @@ impl PipelineMetrics {
             dispatch_batch_msgs: AtomicU64::new(0),
             send_batches: AtomicU64::new(0),
             send_batch_msgs: AtomicU64::new(0),
+            deferred_acks: AtomicU64::new(0),
             commit_latency: LatencyHistogram::new(),
         }
     }
@@ -169,129 +196,257 @@ impl PipelineMetrics {
         stats.dispatch_batch_msgs = self.dispatch_batch_msgs.load(Ordering::Relaxed);
         stats.send_batches = self.send_batches.load(Ordering::Relaxed);
         stats.send_batch_msgs = self.send_batch_msgs.load(Ordering::Relaxed);
+        stats.deferred_acks = self.deferred_acks.load(Ordering::Relaxed);
         stats.commit_p50_us = self.commit_latency.quantile_us(0.50);
         stats.commit_p99_us = self.commit_latency.quantile_us(0.99);
         stats.commit_latency_samples = self.commit_latency.samples();
     }
 }
 
-/// Group commit: concurrently arriving commits elect a leader that
-/// forces the log once for the whole batch; the rest piggyback.
-struct GroupCommit {
-    state: Mutex<GcState>,
+/// Hand-off from the dispatch workers to the dedicated log-writer
+/// thread. Workers append commit records and *register* the batch here
+/// (one lock poke, no waiting); the writer wakes, runs one
+/// seal → write → force cycle over everything registered since its last
+/// cycle, and advances the completion router's durable watermark.
+pub(crate) struct LogWriter {
+    state: Mutex<LogWriterState>,
     cv: Condvar,
-    /// Gather target (from [`crate::EngineConfig::group_commit_batch`]).
-    batch: usize,
 }
 
-#[derive(Default)]
-struct GcState {
-    /// A leader is currently gathering or forcing.
-    forcing: bool,
-    /// Commit LSNs appended but not yet covered by a force.
-    pending: Vec<Lsn>,
-    /// The last committing client and when it arrived; a commit from a
-    /// *different* client within [`CONCURRENT_WINDOW`] tells the next
-    /// leader that gathering a batch is worthwhile.
-    last_commit: Option<(ClientId, Instant)>,
+/// The writer's request board. One mutex class of its own (first in the
+/// lock DAG: the writer descends from here into `WalInner` and the
+/// completion router).
+struct LogWriterState {
+    /// Highest watermark any worker has asked to become durable (the
+    /// requesting batch's WAL tail).
+    requested: Lsn,
+    /// Commits appended but not yet accounted durable.
+    pending_commits: u64,
+    /// Shut down after the next (final) cycle.
+    stop: bool,
+    /// Run one cycle even with nothing registered. Set when a chaos
+    /// [`WalHold`](fgs_pagestore::WalHold) changes: turns under a hold
+    /// no-op but still count as handled, so only a kick makes the
+    /// writer re-drain (and release parked acks) after the hold lifts.
+    kicked: bool,
 }
 
-impl GroupCommit {
-    fn new(batch: usize) -> Self {
-        GroupCommit {
-            state: Mutex::new(GcState::default()),
+impl LogWriter {
+    fn new() -> LogWriter {
+        LogWriter {
+            state: Mutex::new(LogWriterState {
+                requested: 0,
+                pending_commits: 0,
+                stop: false,
+                kicked: false,
+            }),
             cv: Condvar::new(),
-            batch,
         }
     }
 
-    /// Makes the commit record at `lsn` durable, coalescing with every
-    /// other commit waiting here. See [`GroupCommit::force_many`].
-    /// Production batches go through `force_many` directly; the loom
-    /// model drives this single-lsn wrapper.
-    #[cfg_attr(not(loom), allow(dead_code))]
-    fn force(&self, store: &Store, lsn: Lsn, from: ClientId) {
-        self.force_many(store, &[lsn], from);
+    /// Worker side: registers a batch of `commits` appended commit
+    /// records whose durability watermark is `ack_lsn`, and returns
+    /// immediately — the force happens on the writer thread.
+    fn request(&self, ack_lsn: Lsn, commits: u64) {
+        let mut g = self.state.lock();
+        g.requested = g.requested.max(ack_lsn);
+        g.pending_commits += commits;
+        self.cv.notify_one();
     }
 
-    /// Makes every commit record in `lsns` durable (one worker's inbound
-    /// batch commits together), coalescing with every other commit
-    /// waiting here: one member becomes the leader, gathers pending
-    /// commits up to the batch target, and issues a single physical
-    /// force for all of them. Returns once all of `lsns` are durable.
-    ///
-    /// The gather wait is adaptive: the leader sleeps in
-    /// [`GATHER_SLICE`]-long steps and forces as soon as a whole slice
-    /// passes with no new commit joining, so a burst is harvested
-    /// without paying the full [`GATHER_WINDOW`] for company that is
-    /// not coming.
-    fn force_many(&self, store: &Store, lsns: &[Lsn], from: ClientId) {
-        let max = *lsns.iter().max().expect("at least one commit lsn");
+    /// Forces one writer cycle regardless of registered work.
+    fn kick(&self) {
         let mut g = self.state.lock();
-        let concurrent = self.batch > 1
-            && g.last_commit
-                .is_some_and(|(c, t)| c != from && t.elapsed() < CONCURRENT_WINDOW);
-        g.last_commit = Some((from, Instant::now()));
-        g.pending.extend_from_slice(lsns);
-        self.cv.notify_all();
-        loop {
-            if store.wal().flushed() > max {
-                // Covered by someone else's force. A leader drains the
-                // whole pending list, so either all of ours were drained
-                // (and accounted by that leader) or none were; account
-                // the leftover piggybackers ourselves.
-                let mut ours = 0u64;
-                g.pending.retain(|l| {
-                    let mine = lsns.contains(l);
-                    ours += u64::from(mine);
-                    !mine
-                });
-                if ours > 0 {
-                    drop(g);
-                    store.force_commits(max, ours);
-                }
-                return;
-            }
-            if !g.forcing {
-                g.forcing = true;
-                if concurrent {
-                    // Gather: other clients are committing right now;
-                    // trade a bounded wait for a batched force.
-                    let deadline = Instant::now() + GATHER_WINDOW;
-                    while g.pending.len() < self.batch {
-                        let before = g.pending.len();
-                        let now = Instant::now();
-                        if now >= deadline {
-                            break; // window exhausted; force what we have
-                        }
-                        let timed_out = self.cv.wait_for(&mut g, GATHER_SLICE.min(deadline - now));
-                        if timed_out && g.pending.len() == before {
-                            break; // a whole slice with no new company
-                        }
+        g.kicked = true;
+        self.cv.notify_one();
+    }
+
+    /// Asks the writer thread to run one final cycle and exit.
+    pub(crate) fn stop(&self) {
+        let mut g = self.state.lock();
+        g.stop = true;
+        self.cv.notify_one();
+    }
+}
+
+/// What a pending outbound item is waiting for in the completion router.
+/// The per-client queue preserves engine order: a parked ack blocks
+/// everything queued behind it for the same client.
+#[derive(Default)]
+struct ClientQueue {
+    pending: VecDeque<OutMsg>,
+    /// A thread is delivering this client's released prefix outside the
+    /// lock; concurrent releasers must queue behind it or the client
+    /// would observe reordered messages.
+    releasing: bool,
+}
+
+/// Router state: the durable watermark as last reported by the log
+/// writer, plus the per-client barrier queues.
+struct CompletionState {
+    durable: Lsn,
+    clients: HashMap<ClientId, ClientQueue>,
+}
+
+/// The completion stage: emits `CommitDone` for a registered ack only
+/// once the log writer's durable watermark passes the ack's LSN,
+/// preserving the WAL rule without parking any worker. Envelopes that
+/// arrive behind a pending ack wait with it (per-client order); clients
+/// with nothing pending pass straight through to delivery.
+pub(crate) struct CompletionRouter {
+    state: Mutex<CompletionState>,
+}
+
+impl CompletionRouter {
+    fn new() -> CompletionRouter {
+        CompletionRouter {
+            state: Mutex::new(CompletionState {
+                durable: 0,
+                clients: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Sender side: appends one client's ordered run and delivers the
+    /// releasable prefix.
+    pub(crate) fn submit(
+        &self,
+        client: ClientId,
+        run: Vec<OutMsg>,
+        ports: &crate::transport::PortMap,
+        metrics: &PipelineMetrics,
+    ) {
+        {
+            let mut g = self.state.lock();
+            g.clients.entry(client).or_default().pending.extend(run);
+        }
+        self.drain(client, false, ports, metrics);
+    }
+
+    /// Log-writer side: advances the durable watermark and delivers every
+    /// newly releasable prefix.
+    pub(crate) fn advance(
+        &self,
+        durable: Lsn,
+        ports: &crate::transport::PortMap,
+        metrics: &PipelineMetrics,
+    ) {
+        let clients: Vec<ClientId> = {
+            let mut g = self.state.lock();
+            g.durable = g.durable.max(durable);
+            g.clients
+                .iter()
+                .filter(|(_, q)| !q.pending.is_empty())
+                .map(|(c, _)| *c)
+                .collect()
+        };
+        for client in clients {
+            self.drain(client, true, ports, metrics);
+        }
+    }
+
+    /// Pops `client`'s releasable prefix under the router lock: leading
+    /// envelopes plus any ack whose watermark the durable horizon has
+    /// passed (each ack becoming its `CommitDone`). Returns an empty run
+    /// when nothing is ready — or when another thread is already
+    /// delivering for this client (the `releasing` flag; that thread's
+    /// drain loop will pick up whatever we just made ready). A non-empty
+    /// return transfers the flag to the caller, who must deliver the run
+    /// and then [`finish_release`](Self::finish_release).
+    fn release_ready(
+        &self,
+        client: ClientId,
+        deferred: bool,
+        metrics: &PipelineMetrics,
+    ) -> Vec<ToClient> {
+        let mut g = self.state.lock();
+        let durable = g.durable;
+        let Some(q) = g.clients.get_mut(&client) else {
+            return Vec::new();
+        };
+        if q.releasing {
+            return Vec::new();
+        }
+        let mut run: Vec<ToClient> = Vec::new();
+        while let Some(front) = q.pending.front() {
+            match front {
+                OutMsg::Ack { ack_lsn, .. } if *ack_lsn > durable => break,
+                OutMsg::Ack { .. } => {
+                    let Some(OutMsg::Ack { txn, t0, .. }) = q.pending.pop_front() else {
+                        unreachable!("front was an ack");
+                    };
+                    metrics
+                        .commit_latency
+                        .record(t0.elapsed().as_nanos() as u64);
+                    if deferred {
+                        PipelineMetrics::add(&metrics.deferred_acks, 1);
                     }
+                    run.push(ToClient {
+                        msg: ServerMsg::CommitDone { txn },
+                        page_image: None,
+                        object_bytes: None,
+                    });
                 }
-                let batch = std::mem::take(&mut g.pending);
-                drop(g);
-                let batch_max = *batch.iter().max().expect("own lsns are pending");
-                store.force_commits(batch_max, batch.len() as u64);
-                let mut g = self.state.lock();
-                g.forcing = false;
-                self.cv.notify_all();
-                // Our own LSNs were in the drained batch (we pushed them
-                // and only a leader removes entries).
+                OutMsg::Env(_) => {
+                    let Some(OutMsg::Env(env)) = q.pending.pop_front() else {
+                        unreachable!("front was an envelope");
+                    };
+                    run.push(env);
+                }
+            }
+        }
+        if !run.is_empty() {
+            q.releasing = true;
+        }
+        run
+    }
+
+    /// Clears `client`'s `releasing` flag after an out-of-lock delivery.
+    fn finish_release(&self, client: ClientId) {
+        let mut g = self.state.lock();
+        if let Some(q) = g.clients.get_mut(&client) {
+            q.releasing = false;
+        }
+    }
+
+    /// Delivers `client`'s stream until nothing more is ready. The
+    /// router lock is never held across a delivery (a port write is
+    /// I/O); the `releasing` flag keeps concurrent drains from
+    /// interleaving the client's stream while the lock is open.
+    fn drain(
+        &self,
+        client: ClientId,
+        deferred: bool,
+        ports: &crate::transport::PortMap,
+        metrics: &PipelineMetrics,
+    ) {
+        loop {
+            let run = self.release_ready(client, deferred, metrics);
+            if run.is_empty() {
                 return;
             }
-            self.cv.wait(&mut g);
+            metrics.note_send_batch(run.len());
+            // No port, or a dead one, means the client is gone (shutdown
+            // race or dropped connection); drop the messages. An ack for
+            // a reconnected successor is filtered client-side by the
+            // stale-txn check, so late release stays exactly-once.
+            if let Some(port) = ports.lookup_port(client.0) {
+                let _ = port.deliver_batch(run);
+            }
+            self.finish_release(client);
+            // The watermark (or the queue) may have moved while we were
+            // delivering; loop to release what became ready.
         }
     }
 }
 
-/// State shared between the worker pool, the sender thread and the
-/// introspection APIs.
+/// State shared between the worker pool, the sender thread, the log
+/// writer and the introspection APIs.
 pub(crate) struct ServerRuntime {
     protocol: Mutex<ProtocolStage>,
     store: Store,
-    gc: GroupCommit,
+    writer: LogWriter,
+    completion: CompletionRouter,
     metrics: Arc<PipelineMetrics>,
     /// Run engine invariant checks after every batch even in release.
     paranoid: bool,
@@ -309,19 +464,16 @@ enum Step {
 }
 
 impl ServerRuntime {
-    pub(crate) fn new(
-        engine: ServerEngine,
-        store: Store,
-        group_commit_batch: usize,
-        paranoid: bool,
-    ) -> Self {
+    pub(crate) fn new(engine: ServerEngine, store: Store, paranoid: bool) -> Self {
+        store.wal().set_append_cap(APPEND_CAP);
         ServerRuntime {
             protocol: Mutex::new(ProtocolStage {
                 engine,
                 next_seq: 0,
             }),
             store,
-            gc: GroupCommit::new(group_commit_batch),
+            writer: LogWriter::new(),
+            completion: CompletionRouter::new(),
             metrics: Arc::new(PipelineMetrics::new()),
             paranoid,
         }
@@ -345,11 +497,79 @@ impl ServerRuntime {
         self.metrics.clone()
     }
 
+    pub(crate) fn completion(&self) -> &CompletionRouter {
+        &self.completion
+    }
+
     /// Durability counters plus the pipeline's timing/batching counters.
     pub(crate) fn store_stats(&self) -> StoreStats {
         let mut stats = self.store.stats();
         self.metrics.fill(&mut stats);
         stats
+    }
+
+    // -- the log-writer stage -------------------------------------------
+
+    /// One turn of the log-writer thread: parks until workers register
+    /// appended commits, then runs one seal → write → force cycle over
+    /// everything registered since the last turn (the double-buffered
+    /// WAL tail lets appends continue meanwhile) and accounts the
+    /// cycle's commits. Returns the durable watermark and whether this
+    /// was the final (stop) turn.
+    ///
+    /// The writer never holds a cycle open waiting for more arrivals:
+    /// coalescing comes from the double buffering itself — every commit
+    /// appended while the previous cycle was writing, forcing, or
+    /// delivering acks lands in the next cycle as one batch. A timed
+    /// gather here taxes every commit's ack with the wait (and convoys
+    /// badly in closed-loop workloads, where the clients whose acks it
+    /// withholds are exactly the ones who would supply the next commit).
+    fn writer_turn(&self, handled: &mut Lsn, carried: &mut u64) -> (Lsn, bool) {
+        let wal = self.store.wal();
+        let (target, commits, stop) = {
+            let mut g = self.writer.state.lock();
+            while !g.stop && !g.kicked && g.requested <= *handled && g.pending_commits == 0 {
+                self.writer.cv.wait(&mut g);
+            }
+            g.kicked = false;
+            (g.requested, std::mem::take(&mut g.pending_commits), g.stop)
+        };
+        let before = wal.flushed();
+        // One cycle: seal the active buffer, write the shadow
+        // segment, force the written image. Under a chaos hold each
+        // step no-ops and the watermark simply stays put.
+        wal.seal();
+        wal.write_sealed();
+        let durable = wal.force_written();
+        // Commits are accounted when the watermark covers their
+        // registration target, not when they are taken off the board:
+        // turns frozen by a chaos hold carry their commits forward, so
+        // everything parked behind a hold lands in the stats as the one
+        // coalesced cycle that actually made it durable.
+        *carried += commits;
+        if *carried > 0 && durable >= target {
+            self.store
+                .account_durable(std::mem::take(carried), durable > before);
+        }
+        // A turn "handles" everything requested before it — even
+        // under a chaos hold, where the watermark stays put (the
+        // acks stay parked; re-requested or released on the final
+        // cycle) — so a frozen writer parks instead of spinning.
+        *handled = (*handled).max(target);
+        (durable, stop)
+    }
+
+    /// Stops the log-writer thread after a final catch-up cycle (the
+    /// embedding joins the thread afterwards).
+    pub(crate) fn stop_log_writer(&self) {
+        self.writer.stop();
+    }
+
+    /// Forces one writer cycle regardless of registered work — the
+    /// chaos harness calls this when it changes the WAL hold, so the
+    /// writer re-drains (releasing parked acks) once a hold lifts.
+    pub(crate) fn kick_log_writer(&self) {
+        self.writer.kick();
     }
 
     // -- the request pipeline -----------------------------------------
@@ -359,10 +579,10 @@ impl ServerRuntime {
     ///
     /// The worker drains everything already queued (bounded by
     /// [`DISPATCH_BATCH`]) into one batch per iteration: the whole batch
-    /// shares one durability force, one protocol-lock acquisition, one
-    /// sequence number and one invariant sample. Per-connection FIFO is
-    /// preserved — a shard owns its clients, drain order is queue order,
-    /// and the protocol stage replays that order under the lock.
+    /// shares one durability pre-pass, one protocol-lock acquisition,
+    /// one sequence number and one invariant sample. Per-connection FIFO
+    /// is preserved — a shard owns its clients, drain order is queue
+    /// order, and the protocol stage replays that order under the lock.
     pub(crate) fn worker_loop(&self, rx: Receiver<ToServer>, out: Sender<SeqBatch>) {
         let mut batch: Vec<ToServer> = Vec::with_capacity(DISPATCH_BATCH);
         while let Ok(env) = rx.recv() {
@@ -392,25 +612,27 @@ impl ServerRuntime {
         }
     }
 
-    /// Runs one drained inbound batch through the three pipeline stages.
+    /// Runs one drained inbound batch through the pipeline stages.
     ///
-    /// Durability first: every commit's updates are installed and all
-    /// their log records forced (one coalesced force for the whole
-    /// batch) *before* the engine releases any lock — the transactions'
-    /// own write locks keep the installed values invisible until the
-    /// protocol stage below releases them. Then the protocol stage
-    /// replays the batch in arrival order under a single lock hold, and
-    /// the dispatch stage attaches payloads outside it.
+    /// Durability first — but only the *append* half: every commit's
+    /// updates are installed and its commit record appended before the
+    /// engine releases any lock, then the batch's watermark (the WAL
+    /// tail, covering the appended records *and* everything any
+    /// read-only commit in the batch could have read) is registered
+    /// with the log writer. The worker never waits for the force; the
+    /// acks are parked in the completion router until the writer's
+    /// durable watermark passes the registered LSN. Then the protocol
+    /// stage replays the batch in arrival order under a single lock
+    /// hold, and the dispatch stage attaches payloads outside it.
     fn handle_batch(&self, batch: &mut Vec<ToServer>, out: &Sender<SeqBatch>) {
         let t_start = Instant::now();
         PipelineMetrics::add(&self.metrics.dispatch_batches, 1);
         PipelineMetrics::add(&self.metrics.dispatch_batch_msgs, batch.len() as u64);
 
-        // Durability stage.
+        // Durability stage: install + append, no force.
         let mut steps: Vec<Step> = Vec::with_capacity(batch.len());
-        let mut commit_lsns: Vec<Lsn> = Vec::new();
-        let mut committer: Option<ClientId> = None;
         let mut commits = 0u64;
+        let mut data_commits = 0u64;
         for env in batch.drain(..) {
             match env {
                 // Cut in `worker_loop`; nothing to do if one slips past.
@@ -424,13 +646,12 @@ impl ServerRuntime {
                     if let Request::Commit { txn, .. } = &req {
                         commits += 1;
                         // Read-only commits (no shipped data) have
-                        // nothing to install or force.
+                        // nothing to install; their ack still gates on
+                        // the batch watermark so every commit their
+                        // reads observed is durable first.
                         if !commit_data.is_empty() {
                             match self.install_commit_data(*txn, &commit_data) {
-                                Ok(lsn) => {
-                                    commit_lsns.push(lsn);
-                                    committer.get_or_insert(from);
-                                }
+                                Ok(_lsn) => data_commits += 1,
                                 Err(e) => {
                                     eprintln!(
                                         "fgs-server: commit install for {txn} failed: {e}; \
@@ -447,9 +668,16 @@ impl ServerRuntime {
                 }
             }
         }
-        if let Some(from) = committer {
-            self.gc.force_many(&self.store, &commit_lsns, from);
-        }
+        // One watermark for the whole batch: everything it appended and
+        // everything its commits' reads depend on sits at or below the
+        // tail right now.
+        let ack_lsn = if commits > 0 {
+            let tail = self.store.wal().len();
+            self.writer.request(tail, data_commits);
+            tail
+        } else {
+            0
+        };
         let t_durable = Instant::now();
 
         // Protocol stage: the in-memory state transitions, single-writer,
@@ -484,7 +712,7 @@ impl ServerRuntime {
         let t_protocol = Instant::now();
 
         // Dispatch stage: attach payloads outside the lock, hand off.
-        self.dispatch(actions, seq, out);
+        self.dispatch(actions, seq, ack_lsn, t_start, out);
 
         let t_done = Instant::now();
         PipelineMetrics::add(
@@ -499,15 +727,11 @@ impl ServerRuntime {
             &self.metrics.dispatch_ns,
             (t_done - t_protocol).as_nanos() as u64,
         );
-        let batch_ns = (t_done - t_start).as_nanos() as u64;
-        for _ in 0..commits {
-            self.metrics.commit_latency.record(batch_ns);
-        }
     }
 
     /// Installs a commit's dirty objects and appends its commit record,
-    /// returning the LSN the batch force must cover. On an install error
-    /// the store-side updates are rolled back.
+    /// returning the record's LSN. On an install error the store-side
+    /// updates are rolled back.
     fn install_commit_data(
         &self,
         txn: TxnId,
@@ -529,9 +753,16 @@ impl ServerRuntime {
     /// (outside the engine lock) and forwards the stamped batch to the
     /// sender thread. Transactions whose grants hit a storage error are
     /// aborted, cascading until no new failures appear.
-    fn dispatch(&self, actions: Vec<ServerAction>, seq: u64, out: &Sender<SeqBatch>) {
+    fn dispatch(
+        &self,
+        actions: Vec<ServerAction>,
+        seq: u64,
+        ack_lsn: Lsn,
+        t0: Instant,
+        out: &Sender<SeqBatch>,
+    ) {
         let mut failed: Vec<TxnId> = Vec::new();
-        let msgs = self.attach_batch(actions, &mut failed);
+        let msgs = self.attach_batch(actions, ack_lsn, t0, &mut failed);
         let _ = out.send(SeqBatch { seq, msgs });
         while let Some(txn) = failed.pop() {
             let (outcome, seq) = {
@@ -542,14 +773,15 @@ impl ServerRuntime {
                 g.next_seq += 1;
                 (outcome, seq)
             };
-            let msgs = self.attach_batch(outcome.actions, &mut failed);
+            let msgs = self.attach_batch(outcome.actions, ack_lsn, t0, &mut failed);
             let _ = out.send(SeqBatch { seq, msgs });
         }
     }
 
-    /// Attaches data to each outbound message. A message whose attach
-    /// fails is dropped and its transaction recorded in `failed`; the
-    /// subsequent server-side abort tells the client.
+    /// Attaches data to each outbound message; commit acks pass through
+    /// as [`OutMsg::Ack`] carrying the batch watermark. A message whose
+    /// attach fails is dropped and its transaction recorded in `failed`;
+    /// the subsequent server-side abort tells the client.
     ///
     /// Payloads are memoized per batch: when one engine batch grants the
     /// same page (or object) to several clients — read grants after a
@@ -558,15 +790,23 @@ impl ServerRuntime {
     fn attach_batch(
         &self,
         actions: Vec<ServerAction>,
+        ack_lsn: Lsn,
+        t0: Instant,
         failed: &mut Vec<TxnId>,
-    ) -> Vec<(ClientId, ToClient)> {
+    ) -> Vec<(ClientId, OutMsg)> {
         let mut pages: HashMap<PageId, SharedBytes> = HashMap::new();
         let mut objects: HashMap<Oid, Option<SharedBytes>> = HashMap::new();
         let mut msgs = Vec::with_capacity(actions.len());
         for action in actions {
-            let ServerAction::Send { to, msg } = action;
+            let (to, msg) = match action {
+                ServerAction::AckCommit { to, txn } => {
+                    msgs.push((to, OutMsg::Ack { txn, ack_lsn, t0 }));
+                    continue;
+                }
+                ServerAction::Send { to, msg } => (to, msg),
+            };
             match self.attach_data(msg, &mut pages, &mut objects) {
-                Ok(env) => msgs.push((to, env)),
+                Ok(env) => msgs.push((to, OutMsg::Env(env))),
                 Err((txn, e)) => {
                     eprintln!("fgs-server: attach for {txn} failed: {e}; aborting");
                     if !failed.contains(&txn) {
@@ -651,128 +891,205 @@ fn retry_io<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T>
     Err(last.expect("at least one attempt"))
 }
 
+/// The durability stage's thread body: the dedicated log writer. Each
+/// turn coalesces every commit registered since the last one into a
+/// single seal → write → force cycle, then advances the completion
+/// router's durable watermark — releasing parked commit acks through
+/// the normal delivery path. Runs until [`LogWriter::stop`], finishing
+/// with one final cycle so every registered commit is durable and acked
+/// before exit.
+pub(crate) fn log_writer_loop(runtime: &ServerRuntime, ports: &crate::transport::PortMap) {
+    let mut handled: Lsn = 0;
+    let mut carried: u64 = 0;
+    loop {
+        let (durable, stop) = runtime.writer_turn(&mut handled, &mut carried);
+        runtime.completion.advance(durable, ports, &runtime.metrics);
+        if stop {
+            return;
+        }
+    }
+}
+
 /// The send stage: restores the engine's serialization order across
 /// workers. Batches arrive stamped with the sequence assigned under the
-/// engine lock; they are released to the per-client ports strictly in
-/// that order, so each client sees messages exactly as the engine
-/// produced them. Ports resolve per delivery through the
+/// engine lock; they are fed to the completion router strictly in that
+/// order, so each client sees messages exactly as the engine produced
+/// them — commit acks holding their place in line until the durable
+/// watermark releases them. Ports resolve per delivery through the
 /// [`PortMap`](crate::transport::PortMap), so TCP clients may come and
 /// go without the pipeline noticing.
 ///
-/// A batch's envelopes are grouped per destination client (each client's
+/// A batch's items are grouped per destination client (each client's
 /// relative order preserved — a client never observes another client's
 /// messages, so cross-client interleaving within one sequence number is
-/// unobservable) and delivered with one
-/// [`deliver_batch`](crate::transport::ClientPort::deliver_batch) call
-/// per client: one port lookup and, on TCP, one coalesced vectored
-/// socket write per client per batch.
+/// unobservable) and submitted as one run: a client with nothing parked
+/// gets one [`deliver_batch`](crate::transport::ClientPort::deliver_batch)
+/// call — one port lookup and, on TCP, one coalesced vectored socket
+/// write.
 pub(crate) fn sender_loop(
     rx: Receiver<SeqBatch>,
     ports: Arc<crate::transport::PortMap>,
+    completion: Arc<ServerRuntime>,
     metrics: Arc<PipelineMetrics>,
 ) {
     let mut next: u64 = 0;
-    let mut held: HashMap<u64, Vec<(ClientId, ToClient)>> = HashMap::new();
-    let deliver = |msgs: Vec<(ClientId, ToClient)>| {
-        // Group per client, preserving each client's envelope order.
+    let mut held: HashMap<u64, Vec<(ClientId, OutMsg)>> = HashMap::new();
+    let submit = |msgs: Vec<(ClientId, OutMsg)>| {
+        // Group per client, preserving each client's item order.
         // Linear scan: a batch rarely addresses more than a few clients.
-        let mut groups: Vec<(ClientId, Vec<ToClient>)> = Vec::new();
-        for (to, env) in msgs {
+        let mut groups: Vec<(ClientId, Vec<OutMsg>)> = Vec::new();
+        for (to, m) in msgs {
             match groups.iter_mut().find(|(c, _)| *c == to) {
-                Some((_, envs)) => envs.push(env),
-                None => groups.push((to, vec![env])),
+                Some((_, run)) => run.push(m),
+                None => groups.push((to, vec![m])),
             }
         }
-        for (to, envs) in groups {
-            metrics.note_send_batch(envs.len());
-            // No port, or a dead one, means the client is gone (shutdown
-            // race or dropped connection); drop the messages.
-            if let Some(port) = ports.lookup_port(to.0) {
-                let _ = port.deliver_batch(envs);
-            }
+        for (to, run) in groups {
+            completion.completion().submit(to, run, &ports, &metrics);
         }
     };
     for batch in rx.iter() {
         held.insert(batch.seq, batch.msgs);
         while let Some(msgs) = held.remove(&next) {
-            deliver(msgs);
+            submit(msgs);
             next += 1;
         }
     }
     // Channel closed (all workers gone). Gaps are only possible if a
-    // worker died mid-dispatch; deliver the stragglers in order anyway.
+    // worker died mid-dispatch; submit the stragglers in order anyway.
     let mut rest: Vec<_> = held.into_iter().collect();
     rest.sort_by_key(|&(seq, _)| seq);
     for (_, msgs) in rest {
-        deliver(msgs);
+        submit(msgs);
     }
 }
 
-/// Model checking for group-commit leader/follower coalescing, run only
+/// Model checking for the asynchronous durability pipeline, run only
 /// under `RUSTFLAGS="--cfg loom"` (see DESIGN.md §"Lock ordering and
-/// concurrency invariants"). [`GroupCommit`]'s mutex and condvar resolve to
-/// `loom::sync` types through [`fgs_core::sync`], so the explored schedules
-/// drive the production `force` path: leader election, the gather window,
-/// pending-list draining, and the drained-vs-piggyback accounting split.
+/// concurrency invariants"). The [`LogWriter`] and [`CompletionRouter`]
+/// mutexes and condvar resolve to `loom::sync` types through
+/// [`fgs_core::sync`], so the explored schedules drive the production
+/// paths: append + request hand-off, the writer's seal/write/force
+/// cycle, watermark advancement, and the router's barrier queues with
+/// the out-of-lock delivery protocol.
 #[cfg(all(test, loom))]
 mod loom_tests {
     use super::*;
-    use fgs_core::TxnId;
-    use fgs_pagestore::MemDisk;
+    use crate::transport::{ClientPort, PortMap};
+    use fgs_core::{Protocol, TxnId};
+    use fgs_pagestore::{MemDisk, Wal};
     use loom::thread;
     use std::sync::Arc;
 
-    fn store() -> Arc<Store> {
-        // Commit forcing never touches data pages; an empty store is enough.
-        Arc::new(Store::new(Arc::new(MemDisk::new(256)), 8, 1000))
+    /// A port that checks the WAL rule at the moment of delivery: a
+    /// `CommitDone` must never arrive before its commit record's
+    /// watermark is durable.
+    struct AckCheckPort {
+        wal: Arc<Wal>,
+        expect: Mutex<Vec<(TxnId, Lsn)>>,
+        delivered: Mutex<Vec<TxnId>>,
     }
 
-    /// N concurrent committers, each forcing its own commit LSN: every
-    /// `force` call must return only once its LSN is durable, every commit
-    /// must be accounted exactly once (the drained-by-leader versus
-    /// piggyback split is where double counting or a lost entry would
-    /// hide), and the gather state must drain back to idle.
-    fn run_committers(batch: usize, n: u16) {
-        let store = store();
-        let gc = Arc::new(GroupCommit::new(batch));
-        let threads: Vec<_> = (0..n)
+    impl ClientPort for AckCheckPort {
+        fn deliver(&self, env: ToClient) -> bool {
+            if let ServerMsg::CommitDone { txn } = env.msg {
+                let expect = self.expect.lock();
+                let (_, ack_lsn) = *expect
+                    .iter()
+                    .find(|(t, _)| *t == txn)
+                    .expect("ack was registered");
+                assert!(
+                    self.wal.flushed() >= ack_lsn,
+                    "CommitDone for {txn} delivered before its watermark"
+                );
+                self.delivered.lock().push(txn);
+            }
+            true
+        }
+
+        fn close(&self) {}
+    }
+
+    fn runtime() -> Arc<ServerRuntime> {
+        // Commit forcing never touches data pages; an empty store is
+        // enough, and no engine state is exercised by the writer/router.
+        let store = Store::new(Arc::new(MemDisk::new(256)), 8, 1000);
+        let engine = ServerEngine::new(Protocol::Ps, 8);
+        Arc::new(ServerRuntime::new(engine, store, false))
+    }
+
+    /// N concurrent committers append + register + submit their ack; the
+    /// dedicated writer cycles until stopped. Every ack must be
+    /// delivered, only after its watermark, and accounted exactly once.
+    fn run_pipeline(n: u16) {
+        let rt = runtime();
+        let ports = Arc::new(PortMap::new(n));
+        let port = Arc::new(AckCheckPort {
+            wal: Arc::clone(rt.store().wal()),
+            expect: Mutex::new(Vec::new()),
+            delivered: Mutex::new(Vec::new()),
+        });
+        for c in 0..n {
+            let dyn_port: Arc<dyn ClientPort> = port.clone();
+            ports.register_port(Some(c), dyn_port).unwrap();
+        }
+        let writer = {
+            let rt = Arc::clone(&rt);
+            let ports = Arc::clone(&ports);
+            thread::spawn(move || log_writer_loop(&rt, &ports))
+        };
+        let committers: Vec<_> = (0..n)
             .map(|c| {
-                let store = Arc::clone(&store);
-                let gc = Arc::clone(&gc);
+                let rt = Arc::clone(&rt);
+                let ports = Arc::clone(&ports);
+                let port = Arc::clone(&port);
                 thread::spawn(move || {
                     let txn = TxnId::new(ClientId(c), 1);
-                    store.begin(txn);
-                    let lsn = store.append_commit(txn);
-                    gc.force(&store, lsn, ClientId(c));
-                    // The contract: durable on return.
-                    assert!(
-                        store.wal().flushed() > lsn,
-                        "force returned before lsn {lsn} was durable"
+                    rt.store().begin(txn);
+                    rt.store().append_commit(txn);
+                    let ack_lsn = rt.store().wal().len();
+                    port.expect.lock().push((txn, ack_lsn));
+                    rt.writer.request(ack_lsn, 1);
+                    rt.completion().submit(
+                        ClientId(c),
+                        vec![OutMsg::Ack {
+                            txn,
+                            ack_lsn,
+                            t0: Instant::now(),
+                        }],
+                        &ports,
+                        &rt.metrics,
                     );
                 })
             })
             .collect();
-        for t in threads {
+        for t in committers {
             t.join().unwrap();
         }
-        let stats = store.stats();
+        rt.stop_log_writer();
+        writer.join().unwrap();
+        let delivered = port.delivered.lock();
+        assert_eq!(delivered.len(), usize::from(n), "every ack delivered");
+        let stats = rt.store().stats();
         assert_eq!(stats.commits, u64::from(n), "each commit counted once");
         assert!(
             stats.log_forces <= u64::from(n),
             "coalescing never forces more than once per commit"
         );
-        let g = gc.state.lock();
-        assert!(!g.forcing, "leader flag released");
-        assert!(g.pending.is_empty(), "pending drained");
+        assert_eq!(
+            rt.store().wal().flushed(),
+            rt.store().wal().len(),
+            "final writer cycle forced everything"
+        );
     }
 
     #[test]
-    fn group_commit_coalesces_concurrent_committers() {
-        loom::model(|| run_committers(3, 3));
+    fn async_durability_acks_after_watermark() {
+        loom::model(|| run_pipeline(3));
     }
 
     #[test]
-    fn group_commit_immediate_path_with_batch_of_one() {
-        loom::model(|| run_committers(1, 2));
+    fn async_durability_single_committer() {
+        loom::model(|| run_pipeline(1));
     }
 }

@@ -55,6 +55,16 @@ impl ClientPort for ChannelPort {
         self.inbox.send(ClientMsg::Server(env)).is_ok()
     }
 
+    /// A multi-envelope run is one enqueue (`ClientMsg::ServerBatch`), so
+    /// the runtime wakes once per run instead of once per envelope.
+    fn deliver_batch(&self, mut envs: Vec<ToClient>) -> bool {
+        match envs.len() {
+            0 => true,
+            1 => self.deliver(envs.pop().expect("len checked")),
+            _ => self.inbox.send(ClientMsg::ServerBatch(envs)).is_ok(),
+        }
+    }
+
     /// Tells the runtime its "connection" is gone, mirroring what a dead
     /// socket does over TCP. Embedded runtimes normally outlive their
     /// port, so this only matters when fault injection severs the port.

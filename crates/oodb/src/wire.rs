@@ -52,6 +52,11 @@ pub(crate) enum ClientMsg {
     App(AppCmd),
     /// An envelope from the server.
     Server(ToClient),
+    /// A seq-contiguous run of envelopes delivered as one enqueue: the
+    /// channel transport's zero-copy batch path (`ClientPort::deliver_batch`
+    /// on `ChannelPort`). The runtime handles the envelopes in order, so the
+    /// per-client ordering guarantee is unchanged.
+    ServerBatch(Vec<ToClient>),
     /// The transport lost the server connection: every pending and future
     /// call fails with [`TxnError::Server`]. Channel transports never send
     /// this; the TCP reader does when the socket dies.

@@ -3,7 +3,7 @@
 //! recovery from a snapshot taken mid-group-commit.
 
 use fgs_core::{Oid, PageId, Protocol};
-use fgs_oodb::{EngineConfig, Oodb, TxnError};
+use fgs_oodb::{EngineConfig, Oodb, TxnError, WalHold};
 use fgs_pagestore::{DiskManager, MemDisk};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -102,6 +102,29 @@ fn pipelined_server_is_serializable_and_group_commits() {
             "{protocol}: {total} increments outside possible range"
         );
         db.check_server_invariants();
+
+        // Deterministic coalescing evidence: park the log writer behind
+        // a chaos hold, let four clients append their commit records
+        // (appends never block under a hold; the acks park in the
+        // completion router), then release — the parked commits become
+        // durable, and are accounted, as one forced writer cycle.
+        db.wal_hold(WalHold::BeforeSeal);
+        std::thread::scope(|scope| {
+            for t in 0..4u16 {
+                let db = db.clone();
+                scope.spawn(move || {
+                    let s = db.session(t);
+                    s.run_txn(100, |txn| {
+                        let o = Oid::new(PageId(u32::from(t)), 0);
+                        let v = decode(&txn.read(o)?);
+                        txn.write(o, encode(v + 1))
+                    })
+                    .unwrap_or_else(|e| panic!("{protocol}: held commit: {e}"));
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            db.wal_hold(WalHold::None);
+        });
 
         let stats = db.store_stats();
         assert!(
@@ -219,6 +242,10 @@ fn crash_mid_group_commit_recovers_forced_batches() {
     let acked = Arc::new(acked);
     let stop = Arc::new(AtomicBool::new(false));
 
+    // Park the log writer so every client's first commit coalesces into
+    // one forced cycle when the hold lifts — deterministic group-commit
+    // evidence for the assertion below.
+    db.wal_hold(WalHold::BeforeSeal);
     let (snap_acked, snap_disk, snap_log) = std::thread::scope(|scope| {
         for c in 0..CLIENTS {
             let db = db.clone();
@@ -238,6 +265,8 @@ fn crash_mid_group_commit_recovers_forced_batches() {
                 }
             });
         }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        db.wal_hold(WalHold::None);
         // Let every writer commit a few times, then snapshot mid-flight.
         while acked.iter().any(|a| a.load(Ordering::Acquire) < 3) {
             std::thread::yield_now();

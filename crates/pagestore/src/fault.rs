@@ -11,6 +11,7 @@
 
 use crate::disk::{DiskManager, MemDisk};
 use crate::sync::Mutex;
+use crate::wal::WalHold;
 use fgs_core::PageId;
 use std::collections::BTreeMap;
 use std::io;
@@ -31,6 +32,11 @@ pub struct FaultPlan {
     pub read_fault_per_10k: u32,
     /// Upper bound on injected faults across the disk's lifetime.
     pub max_faults: u64,
+    /// Where to park the staged WAL pipeline when the harness draws the
+    /// crash line (see [`WalHold`]): the crash image is captured with
+    /// the log tail frozen at this stage boundary. [`WalHold::None`]
+    /// crashes with whatever the writer happened to have drained.
+    pub wal_hold: WalHold,
 }
 
 impl FaultPlan {
@@ -41,6 +47,7 @@ impl FaultPlan {
             write_fault_per_10k: 0,
             read_fault_per_10k: 0,
             max_faults: 0,
+            wal_hold: WalHold::None,
         }
     }
 }
@@ -198,6 +205,7 @@ mod tests {
             write_fault_per_10k: 5_000,
             read_fault_per_10k: 0,
             max_faults: 3,
+            wal_hold: WalHold::None,
         };
         let run = || {
             let d = FaultyDisk::new(Arc::new(MemDisk::new(64)));
@@ -235,6 +243,7 @@ mod tests {
             write_fault_per_10k: 10_000,
             read_fault_per_10k: 10_000,
             max_faults: u64::MAX,
+            wal_hold: WalHold::None,
         });
         assert!(d.write_page(PageId(0), &[0; 64]).is_err());
         d.disarm();

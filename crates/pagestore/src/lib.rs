@@ -39,4 +39,4 @@ pub use fault::{FaultPlan, FaultyDisk};
 pub use page::{PageError, Record, SlottedPage};
 pub use recovery::{recover, RecoveryReport};
 pub use store::{Store, StoreStats};
-pub use wal::{LogRecord, Lsn, Wal};
+pub use wal::{LogRecord, Lsn, Wal, WalHold};

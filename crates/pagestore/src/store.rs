@@ -65,6 +65,16 @@ pub struct StoreStats {
     pub send_batches: u64,
     /// Envelopes across all send batches.
     pub send_batch_msgs: u64,
+    /// Active-buffer seals performed by the dedicated log writer (zero
+    /// for stores driven through the synchronous force paths).
+    pub wal_seals: u64,
+    /// Sealed-segment device writes performed by the dedicated log
+    /// writer.
+    pub wal_writes: u64,
+    /// Commit acks the completion router had to park until the durable
+    /// watermark caught up (filled by the `fgs-oodb` runtime; acks that
+    /// released immediately are not counted).
+    pub deferred_acks: u64,
 }
 
 /// A logged object store over a disk and buffer pool.
@@ -268,6 +278,22 @@ impl Store {
         }
     }
 
+    /// Accounts `batch_size` commits made durable by the dedicated log
+    /// writer, which forces through the stepwise WAL API
+    /// ([`crate::Wal::force_written`]) rather than [`Store::force_commits`].
+    /// `forced` reports whether the covering cycle performed a physical
+    /// force; the piggyback split mirrors `force_commits`.
+    pub fn account_durable(&self, batch_size: u64, forced: bool) {
+        self.commits.fetch_add(batch_size, Ordering::Relaxed);
+        if batch_size > 1 {
+            self.piggybacked_commits
+                .fetch_add(batch_size - 1, Ordering::Relaxed);
+            if forced {
+                self.group_commit_batches.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Commit-durability counters so far.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -275,6 +301,8 @@ impl Store {
             group_commit_batches: self.group_commit_batches.load(Ordering::Relaxed),
             piggybacked_commits: self.piggybacked_commits.load(Ordering::Relaxed),
             log_forces: self.wal.forces(),
+            wal_seals: self.wal.seals(),
+            wal_writes: self.wal.segment_writes(),
             ..StoreStats::default()
         }
     }

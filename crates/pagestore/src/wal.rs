@@ -7,8 +7,43 @@
 //!
 //! Record wire format: `len: u32 | crc: u32 | body` where the body is a
 //! tag byte plus fields. A torn tail (bad length/CRC) cleanly ends replay.
+//!
+//! # Staged durability
+//!
+//! The log tail is double-buffered for the asynchronous durability
+//! pipeline (DESIGN.md §16). Appends land in the *active* buffer and
+//! return immediately; a dedicated log-writer thread walks the tail
+//! through three explicit stages:
+//!
+//! ```text
+//! append → [active] --seal()--> [sealed] --write_sealed()--> [written]
+//!                                              --force_written()--> durable
+//! ```
+//!
+//! * [`Wal::seal`] swaps the active buffer out as the sealed shadow
+//!   segment (at most one outstanding) and hands the writer a fresh
+//!   active buffer, so appenders never wait for the device.
+//! * [`Wal::write_sealed`] moves the sealed segment onto the written
+//!   log image (the device write).
+//! * [`Wal::force_written`] advances the durable watermark over
+//!   everything written (the force/fsync). A record at LSN `l` is
+//!   durable exactly when `flushed() > l`.
+//!
+//! The synchronous paths ([`Wal::flush`], [`Wal::force_up_to`]) collapse
+//! all three stages in one call; they serve stores without a writer
+//! thread, buffer-pool eviction (the WAL rule for steals), and abort
+//! replay, and coalesce with the writer via the shared durable horizon.
+//!
+//! Backpressure: when an append cap is set ([`Wal::set_append_cap`]) and
+//! the active buffer is full while a sealed segment is still being
+//! drained — both buffers full — appenders block until the writer
+//! finishes the device write. Without a cap appends never block.
+//!
+//! [`WalHold`] freezes the staged pipeline at a chosen boundary so the
+//! chaos harness can capture crash images with bytes parked
+//! appended-not-sealed, sealed-not-written, or written-not-forced.
 
-use crate::sync::Mutex;
+use crate::sync::{Condvar, Mutex};
 use fgs_core::{Oid, PageId, SlotId, TxnId};
 
 /// A log sequence number: byte offset of a record in the log stream.
@@ -217,24 +252,144 @@ fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-/// An append-only in-memory log buffer with an explicit flushed horizon.
+/// A freeze point for the staged durability pipeline, used by the chaos
+/// harness to capture crash images with the tail parked between stages.
+///
+/// While a hold other than [`WalHold::None`] is set, the stepwise
+/// writer-thread API ([`Wal::seal`] / [`Wal::write_sealed`] /
+/// [`Wal::force_written`]) no-ops and appends never block on
+/// backpressure (so a crashing run can still drain and shut down). The
+/// synchronous paths ([`Wal::flush`], [`Wal::force_up_to`]) are *not*
+/// gated — they model the caller's own I/O, not the stalled writer
+/// thread — so a held state is best-effort the instant other threads
+/// keep running; the harness engages the hold right before capturing
+/// the crash image.
+///
+/// Engaging a hold also *manufactures* the named state from whatever is
+/// buffered, so the crash image deterministically exercises that stage:
+/// `BeforeWrite` seals the active buffer first (sealed-not-written),
+/// `BeforeForce` seals and writes it (written-not-forced).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WalHold {
+    /// No hold: the pipeline runs normally.
+    #[default]
+    None,
+    /// Freeze with appended bytes still in the active buffer.
+    BeforeSeal,
+    /// Seal the active buffer, then freeze before the device write.
+    BeforeWrite,
+    /// Seal and write, then freeze before the force: the written image
+    /// runs ahead of the durable watermark.
+    BeforeForce,
+}
+
+/// An append-only in-memory log with a staged, double-buffered tail and
+/// an explicit durable watermark.
 ///
 /// Durability boundary: bytes up to `flushed()` have reached stable
 /// storage (callers persist them through their own channel — the engine
-/// snapshots the buffer). Crash simulation truncates to the flushed
-/// horizon.
+/// snapshots the buffer). Crash simulation truncates to the durable
+/// watermark plus an optional torn tail ([`Wal::crash_bytes`]).
 #[derive(Debug, Default)]
 pub struct Wal {
     inner: Mutex<WalInner>,
+    /// Signals backpressured appenders when the sealed segment drains
+    /// (and hold changes, so a crashing run never wedges an appender).
+    space: Condvar,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct WalInner {
-    buf: Vec<u8>,
-    flushed: u64,
-    /// Number of flushes that actually advanced the durable horizon (i.e.
-    /// distinct physical log forces; no-op flushes are not counted).
+    /// The written log image: what the device has seen. The durable
+    /// prefix is `durable`; `written[durable..]` is written-not-forced.
+    written: Vec<u8>,
+    /// Durable watermark: bytes of `written` covered by a force.
+    durable: u64,
+    /// The sealed shadow segment the log writer is draining (at most one
+    /// outstanding — this is the second buffer of the pair).
+    sealed: Option<Vec<u8>>,
+    /// The active append buffer.
+    active: Vec<u8>,
+    /// Physical forces (durable-watermark advances; no-ops not counted).
     forces: u64,
+    /// Active-buffer seals performed (stepwise API only).
+    seals: u64,
+    /// Sealed-segment device writes performed (stepwise API only).
+    writes: u64,
+    /// Soft cap on the active buffer for backpressure; `usize::MAX`
+    /// (the default) never blocks an append.
+    cap: usize,
+    /// Chaos freeze point; see [`WalHold`].
+    hold: WalHold,
+}
+
+impl Default for WalInner {
+    fn default() -> Self {
+        WalInner {
+            written: Vec::new(),
+            durable: 0,
+            sealed: None,
+            active: Vec::new(),
+            forces: 0,
+            seals: 0,
+            writes: 0,
+            cap: usize::MAX,
+            hold: WalHold::None,
+        }
+    }
+}
+
+impl WalInner {
+    /// Total appended bytes: the LSN the next append will receive.
+    fn tail(&self) -> u64 {
+        self.written.len() as u64
+            + self.sealed.as_ref().map_or(0, |s| s.len() as u64)
+            + self.active.len() as u64
+    }
+
+    /// Moves the active buffer into the sealed slot (if free and
+    /// non-empty). Used by both the stepwise path and hold engagement.
+    fn seal_active(&mut self) -> bool {
+        if self.sealed.is_some() || self.active.is_empty() {
+            return false;
+        }
+        self.sealed = Some(std::mem::take(&mut self.active));
+        self.seals += 1;
+        true
+    }
+
+    /// Appends the sealed segment to the written image (if any).
+    fn write_sealed_segment(&mut self) -> bool {
+        match self.sealed.take() {
+            Some(mut s) => {
+                self.written.append(&mut s);
+                self.writes += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drains both buffers onto the written image (synchronous paths;
+    /// not counted as stepwise seals/writes).
+    fn drain_all(&mut self) {
+        if let Some(mut s) = self.sealed.take() {
+            self.written.append(&mut s);
+        }
+        self.written.append(&mut self.active);
+    }
+
+    /// Advances the durable watermark over the written image. Returns
+    /// whether this was a physical force.
+    fn force(&mut self) -> bool {
+        if self.durable < self.written.len() as u64 {
+            self.durable = self.written.len() as u64;
+            self.forces += 1;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 impl Wal {
@@ -246,37 +401,113 @@ impl Wal {
     /// Reconstructs a log from a recovered byte image (everything in it is
     /// considered flushed).
     pub fn from_bytes(bytes: Vec<u8>) -> Self {
-        let flushed = bytes.len() as u64;
+        let durable = bytes.len() as u64;
         Wal {
             inner: Mutex::new(WalInner {
-                buf: bytes,
-                flushed,
-                forces: 0,
+                written: bytes,
+                durable,
+                ..WalInner::default()
             }),
+            space: Condvar::new(),
         }
+    }
+
+    /// Sets the active-buffer backpressure cap: an append blocks while
+    /// the active buffer holds at least `cap` bytes *and* a sealed
+    /// segment is still draining (both buffers full). The runtime with a
+    /// dedicated log writer sets this; bare stores keep the default
+    /// (`usize::MAX`, never block — nothing ever stays sealed).
+    pub fn set_append_cap(&self, cap: usize) {
+        self.inner.lock().cap = cap.max(1);
+        self.space.notify_all();
     }
 
     /// Appends a record, returning its LSN. The record is *not* durable
-    /// until a flush covers it.
+    /// until a flush covers it. Blocks only under backpressure (see
+    /// [`Wal::set_append_cap`]).
     pub fn append(&self, rec: &LogRecord) -> Lsn {
         let body = rec.encode();
         let mut g = self.inner.lock();
-        let lsn = g.buf.len() as u64;
-        g.buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        g.buf.extend_from_slice(&crc32(&body).to_le_bytes());
-        g.buf.extend_from_slice(&body);
+        while g.active.len() >= g.cap && g.sealed.is_some() && g.hold == WalHold::None {
+            self.space.wait(&mut g);
+        }
+        let lsn = g.tail();
+        g.active
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        g.active.extend_from_slice(&crc32(&body).to_le_bytes());
+        g.active.extend_from_slice(&body);
         lsn
     }
 
-    /// Advances the flushed horizon to cover everything appended so far
-    /// (the log force at commit). Returns the new horizon.
+    // -- stepwise API (the dedicated log-writer thread) -----------------
+
+    /// Seals the active buffer as the shadow segment, handing appenders a
+    /// fresh one. Returns `false` when there is nothing to seal, a sealed
+    /// segment is still outstanding, or a [`WalHold`] is engaged.
+    pub fn seal(&self) -> bool {
+        let mut g = self.inner.lock();
+        if g.hold != WalHold::None {
+            return false;
+        }
+        g.seal_active()
+    }
+
+    /// Writes the sealed segment onto the log image (the device write),
+    /// freeing the shadow buffer — this is what releases backpressured
+    /// appenders. Returns `false` with nothing sealed or under a hold.
+    pub fn write_sealed(&self) -> bool {
+        let mut g = self.inner.lock();
+        if g.hold != WalHold::None {
+            return false;
+        }
+        let wrote = g.write_sealed_segment();
+        if wrote {
+            self.space.notify_all();
+        }
+        wrote
+    }
+
+    /// Forces everything written: advances the durable watermark to the
+    /// end of the written image (no-op under a hold) and returns the
+    /// watermark. Completion acks gate on the returned value.
+    pub fn force_written(&self) -> u64 {
+        let mut g = self.inner.lock();
+        if g.hold == WalHold::None {
+            g.force();
+        }
+        g.durable
+    }
+
+    /// Engages (or clears) a chaos freeze point, manufacturing the named
+    /// buffer state first — see [`WalHold`].
+    pub fn set_hold(&self, hold: WalHold) {
+        let mut g = self.inner.lock();
+        match hold {
+            WalHold::None | WalHold::BeforeSeal => {}
+            WalHold::BeforeWrite => {
+                g.seal_active();
+            }
+            WalHold::BeforeForce => {
+                g.seal_active();
+                g.write_sealed_segment();
+            }
+        }
+        g.hold = hold;
+        // Never leave an appender wedged behind a frozen writer.
+        self.space.notify_all();
+    }
+
+    // -- synchronous paths ----------------------------------------------
+
+    /// Advances the durable horizon to cover everything appended so far
+    /// (the log force at commit): drains both buffers onto the written
+    /// image and forces. Returns the new horizon.
     pub fn flush(&self) -> u64 {
         let mut g = self.inner.lock();
-        if g.flushed < g.buf.len() as u64 {
-            g.flushed = g.buf.len() as u64;
-            g.forces += 1;
-        }
-        g.flushed
+        g.drain_all();
+        g.force();
+        self.space.notify_all();
+        g.durable
     }
 
     /// Forces the log far enough to make the record at `lsn` durable,
@@ -290,17 +521,20 @@ impl Wal {
         let mut g = self.inner.lock();
         // Already covered, or nothing appended beyond the durable horizon
         // (an `lsn` at or past the tail names no record yet): no-op.
-        if g.flushed > lsn || g.flushed == g.buf.len() as u64 {
+        if g.durable > lsn || g.durable == g.tail() {
             return false;
         }
-        g.flushed = g.buf.len() as u64;
-        g.forces += 1;
-        true
+        g.drain_all();
+        let forced = g.force();
+        self.space.notify_all();
+        forced
     }
+
+    // -- introspection --------------------------------------------------
 
     /// The durable horizon in bytes.
     pub fn flushed(&self) -> u64 {
-        self.inner.lock().flushed
+        self.inner.lock().durable
     }
 
     /// Number of physical log forces performed (no-op flushes excluded);
@@ -309,9 +543,20 @@ impl Wal {
         self.inner.lock().forces
     }
 
-    /// Total appended bytes (≥ flushed).
+    /// Active-buffer seals performed by the stepwise writer path.
+    pub fn seals(&self) -> u64 {
+        self.inner.lock().seals
+    }
+
+    /// Sealed-segment device writes performed by the stepwise writer path.
+    pub fn segment_writes(&self) -> u64 {
+        self.inner.lock().writes
+    }
+
+    /// Total appended bytes (≥ flushed); the LSN one past the last
+    /// appended record — the watermark a completion ack must wait for.
     pub fn len(&self) -> u64 {
-        self.inner.lock().buf.len() as u64
+        self.inner.lock().tail()
     }
 
     /// Whether nothing has been appended.
@@ -322,18 +567,31 @@ impl Wal {
     /// A copy of the *durable* prefix, as a crash would leave it.
     pub fn durable_bytes(&self) -> Vec<u8> {
         let g = self.inner.lock();
-        g.buf[..g.flushed as usize].to_vec()
+        g.written[..g.durable as usize].to_vec()
     }
 
     /// A crash image of the log: the durable prefix plus up to `extra`
-    /// bytes of the unflushed tail, as a disk that tore mid-write would
-    /// leave it. `extra = 0` is the strict durable horizon; a nonzero
-    /// `extra` usually ends mid-record, which replay must (and does)
-    /// discard via the length/CRC framing.
+    /// bytes of the not-yet-durable remainder — written-not-forced bytes
+    /// first, then the sealed segment, then the active buffer, exactly
+    /// the order a real device would have seen them — as a disk that
+    /// tore mid-write would leave it. `extra = 0` is the strict durable
+    /// horizon; a nonzero `extra` usually ends mid-record, which replay
+    /// must (and does) discard via the length/CRC framing.
     pub fn crash_bytes(&self, extra: usize) -> Vec<u8> {
         let g = self.inner.lock();
-        let end = (g.flushed as usize + extra).min(g.buf.len());
-        g.buf[..end].to_vec()
+        let mut out = g.written[..g.durable as usize].to_vec();
+        let mut budget = extra;
+        let mut take = |bytes: &[u8], budget: &mut usize| {
+            let n = (*budget).min(bytes.len());
+            out.extend_from_slice(&bytes[..n]);
+            *budget -= n;
+        };
+        take(&g.written[g.durable as usize..], &mut budget);
+        if let Some(s) = &g.sealed {
+            take(s, &mut budget);
+        }
+        take(&g.active, &mut budget);
+        out
     }
 
     /// Replays the durable prefix, yielding `(lsn, record)` pairs. Stops
@@ -461,6 +719,111 @@ mod tests {
         wal.append(&update(1));
         wal.flush();
         assert_eq!(wal.forces(), 2);
+    }
+
+    #[test]
+    fn stepwise_cycle_reaches_durability() {
+        let wal = Wal::new();
+        let a = wal.append(&LogRecord::Begin { txn: txn(1, 1) });
+        let b = wal.append(&LogRecord::Commit { txn: txn(1, 1) });
+        assert_eq!(wal.flushed(), 0, "append alone is not durable");
+        assert!(wal.seal());
+        assert!(!wal.seal(), "shadow segment already outstanding");
+        assert_eq!(wal.flushed(), 0, "sealing is not durability");
+        assert!(wal.write_sealed());
+        assert!(!wal.write_sealed(), "nothing sealed any more");
+        assert_eq!(wal.flushed(), 0, "writing is not durability");
+        let durable = wal.force_written();
+        assert!(durable > b && durable == wal.len());
+        assert_eq!(wal.forces(), 1);
+        assert_eq!(wal.seals(), 1);
+        assert_eq!(wal.segment_writes(), 1);
+        // New appends land in the fresh active buffer and replay after
+        // the first cycle's records.
+        let c = wal.append(&update(1));
+        assert!(c > b);
+        assert!(wal.seal() && wal.write_sealed());
+        wal.force_written();
+        let lsns: Vec<Lsn> = wal.replay().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(lsns, vec![a, b, c]);
+    }
+
+    #[test]
+    fn double_buffering_appends_while_sealed() {
+        let wal = Wal::new();
+        let a = wal.append(&LogRecord::Begin { txn: txn(1, 1) });
+        assert!(wal.seal());
+        // The shadow segment is outstanding; appends go to the fresh
+        // active buffer and LSNs stay monotonic across the pair.
+        let b = wal.append(&LogRecord::Commit { txn: txn(1, 1) });
+        assert!(b > a);
+        assert!(wal.write_sealed());
+        assert!(wal.seal() && wal.write_sealed());
+        wal.force_written();
+        assert_eq!(wal.replay().len(), 2);
+    }
+
+    #[test]
+    fn sync_flush_subsumes_outstanding_stages() {
+        let wal = Wal::new();
+        wal.append(&LogRecord::Begin { txn: txn(1, 1) });
+        wal.seal();
+        wal.append(&LogRecord::Commit { txn: txn(1, 1) });
+        // One synchronous flush drains sealed + active and forces.
+        wal.flush();
+        assert_eq!(wal.flushed(), wal.len());
+        assert_eq!(wal.replay().len(), 2);
+    }
+
+    #[test]
+    fn hold_freezes_each_stage_and_crash_bytes_sees_the_remainder() {
+        for hold in [
+            WalHold::BeforeSeal,
+            WalHold::BeforeWrite,
+            WalHold::BeforeForce,
+        ] {
+            let wal = Wal::new();
+            wal.append(&LogRecord::Begin { txn: txn(1, 1) });
+            wal.flush();
+            let durable = wal.flushed();
+            wal.append(&LogRecord::Commit { txn: txn(1, 1) });
+            wal.set_hold(hold);
+            // The stepwise pipeline is frozen: nothing becomes durable.
+            wal.seal();
+            wal.write_sealed();
+            wal.force_written();
+            assert_eq!(wal.flushed(), durable, "{hold:?}: watermark advanced");
+            // The strict crash image ends at the durable horizon; a torn
+            // tail exposes the parked bytes wherever they sit.
+            assert_eq!(wal.crash_bytes(0).len() as u64, durable);
+            let full = wal.crash_bytes(usize::MAX);
+            assert_eq!(full.len() as u64, wal.len(), "{hold:?}: remainder lost");
+            // Releasing the hold lets the writer finish the cycle.
+            wal.set_hold(WalHold::None);
+            wal.seal();
+            wal.write_sealed();
+            wal.force_written();
+            assert_eq!(wal.flushed(), wal.len());
+            assert_eq!(wal.replay().len(), 2);
+        }
+    }
+
+    #[test]
+    fn backpressure_blocks_only_with_both_buffers_full() {
+        let wal = Wal::new();
+        wal.set_append_cap(1);
+        // Active over cap but nothing sealed: appends must not block.
+        wal.append(&LogRecord::Begin { txn: txn(1, 1) });
+        wal.append(&LogRecord::Commit { txn: txn(1, 1) });
+        wal.seal();
+        // Both buffers full now; a concurrent writer cycle releases the
+        // appender. (Single-threaded here: write first, then append.)
+        wal.write_sealed();
+        let c = wal.append(&update(1));
+        let durable = wal.force_written();
+        assert!(durable > 0 && durable <= c, "only the written image forced");
+        wal.flush();
+        assert_eq!(wal.replay().len(), 3);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! programs and under concurrent callers racing on one log.
 
 use fgs_core::{ClientId, TxnId};
-use fgs_pagestore::{LogRecord, Lsn, Wal};
+use fgs_pagestore::{LogRecord, Lsn, Wal, WalHold};
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::thread;
@@ -87,7 +87,137 @@ fn run_program(wal: &Wal, client: u16, program: &[Op]) {
     }
 }
 
+/// One step of a *staged* WAL program, driving the double-buffered
+/// writer API (`seal` / `write_sealed` / `force_written`) plus chaos
+/// holds, the way the dedicated log-writer thread and the harness do.
+#[derive(Debug, Clone, Copy)]
+enum StagedOp {
+    /// Append a commit record for a fresh transaction.
+    Commit,
+    /// Append a filler update record (commit-data traffic).
+    Update {
+        payload: u8,
+    },
+    /// One writer stage.
+    Seal,
+    WriteSealed,
+    /// Force: every commit whose record end is covered by the returned
+    /// watermark becomes *acked* — the completion router's release rule.
+    ForceWritten,
+    /// The synchronous path (checkpoint/abort), which collapses stages.
+    Flush,
+    /// Engage or release a chaos freeze point.
+    Hold {
+        which: u8,
+    },
+}
+
+fn staged_ops() -> impl Strategy<Value = Vec<StagedOp>> {
+    prop::collection::vec(
+        (0u8..16, 0u64..256).prop_map(|(kind, value)| match kind {
+            0..=4 => StagedOp::Commit,
+            5..=7 => StagedOp::Update {
+                payload: value as u8,
+            },
+            8..=9 => StagedOp::Seal,
+            10..=11 => StagedOp::WriteSealed,
+            12..=13 => StagedOp::ForceWritten,
+            14 => StagedOp::Flush,
+            _ => StagedOp::Hold {
+                which: (value % 4) as u8,
+            },
+        }),
+        1..80,
+    )
+}
+
 proptest! {
+    /// The asynchronous-durability safety property, end to end: however
+    /// a staged program interleaves appends, writer stages, synchronous
+    /// flushes and chaos holds, a crash image with an arbitrary torn
+    /// tail (`crash_bytes(extra)`) replays **every commit whose ack the
+    /// completion router would have released** (watermark past its
+    /// record end). Ghost commits may appear; acked ones may not vanish.
+    #[test]
+    fn torn_shadow_tail_never_loses_an_acked_commit(
+        program in staged_ops(),
+        extra in 0usize..256,
+    ) {
+        let wal = Wal::new();
+        let mut next_txn = 1u64;
+        // (txn seq, record end offset) of every appended commit.
+        let mut commits: Vec<(u64, Lsn)> = Vec::new();
+        let mut acked: Vec<u64> = Vec::new();
+        let ack_up_to = |commits: &[(u64, Lsn)], durable: u64, acked: &mut Vec<u64>| {
+            for &(txn, end) in commits {
+                if end <= durable && !acked.contains(&txn) {
+                    acked.push(txn);
+                }
+            }
+        };
+        for op in &program {
+            match *op {
+                StagedOp::Commit => {
+                    let txn = next_txn;
+                    next_txn += 1;
+                    wal.append(&LogRecord::Commit {
+                        txn: TxnId::new(ClientId(0), txn),
+                    });
+                    commits.push((txn, wal.len()));
+                }
+                StagedOp::Update { payload } => {
+                    append(&wal, 0, payload);
+                }
+                StagedOp::Seal => {
+                    wal.seal();
+                }
+                StagedOp::WriteSealed => {
+                    wal.write_sealed();
+                }
+                StagedOp::ForceWritten => {
+                    let durable = wal.force_written();
+                    ack_up_to(&commits, durable, &mut acked);
+                }
+                StagedOp::Flush => {
+                    let durable = wal.flush();
+                    ack_up_to(&commits, durable, &mut acked);
+                }
+                StagedOp::Hold { which } => {
+                    wal.set_hold(match which {
+                        0 => WalHold::None,
+                        1 => WalHold::BeforeSeal,
+                        2 => WalHold::BeforeWrite,
+                        _ => WalHold::BeforeForce,
+                    });
+                }
+            }
+            // The watermark may never outrun an ack the router would
+            // withhold: everything acked is within the durable prefix.
+            let durable = wal.flushed();
+            for &txn in &acked {
+                let (_, end) = commits.iter().find(|(t, _)| *t == txn).expect("acked commit");
+                prop_assert!(*end <= durable);
+            }
+        }
+        // Crash with a torn tail cut anywhere into the written-not-forced
+        // remainder, the sealed shadow buffer, and the active buffer.
+        let crashed = Wal::from_bytes(wal.crash_bytes(extra));
+        let survived: Vec<u64> = crashed
+            .replay()
+            .into_iter()
+            .filter_map(|(_, rec)| match rec {
+                LogRecord::Commit { txn } => Some(txn.seq),
+                _ => None,
+            })
+            .collect();
+        for txn in &acked {
+            prop_assert!(
+                survived.contains(txn),
+                "acked commit {txn} vanished from the crash image (extra={extra})"
+            );
+        }
+    }
+
     /// Sequential oracle: arbitrary programs keep the horizon monotone,
     /// forces physical-exactly-when-advancing, and the durable prefix
     /// replayable.

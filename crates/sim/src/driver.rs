@@ -267,15 +267,16 @@ impl Simulator {
             Cont::MsgReceived(id) => self.deliver(id),
             Cont::ServerWork { actions, pinned } => {
                 for a in actions {
-                    let ServerAction::Send { to, msg } = a;
-                    if matches!(msg, ServerMsg::CommitDone { .. }) {
-                        // WAL: force the log before acknowledging commit.
-                        let id = self.stage_server_msg(to, msg);
-                        self.charge_server(self.sys.disk_overhead_inst);
-                        let done = self.disk_io();
-                        self.cal.schedule(done, Ev::LogForceDone { msg: id });
-                    } else {
-                        self.server_send(to, msg);
+                    match a {
+                        // The completion stage of the simulated server:
+                        // WAL — force the log, then acknowledge commit.
+                        ServerAction::AckCommit { to, txn } => {
+                            let id = self.stage_server_msg(to, ServerMsg::CommitDone { txn });
+                            self.charge_server(self.sys.disk_overhead_inst);
+                            let done = self.disk_io();
+                            self.cal.schedule(done, Ev::LogForceDone { msg: id });
+                        }
+                        ServerAction::Send { to, msg } => self.server_send(to, msg),
                     }
                 }
                 for p in pinned {
@@ -480,7 +481,9 @@ impl Simulator {
         // between now and the send.
         let mut pinned = Vec::new();
         for a in &outcome.actions {
-            let ServerAction::Send { msg, .. } = a;
+            let ServerAction::Send { msg, .. } = a else {
+                continue; // commit acks carry no payload
+            };
             if let Some(p) = Self::page_payload(msg) {
                 if self.buffer.contains(p) {
                     self.buffer.pin(p);
